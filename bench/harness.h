@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared helpers for the paper-table benchmark binaries.
+ */
+
+#ifndef CHF_BENCH_HARNESS_H
+#define CHF_BENCH_HARNESS_H
+
+#include <string>
+
+#include "hyperblock/phase_ordering.h"
+#include "sim/functional_sim.h"
+#include "sim/timing_sim.h"
+#include "support/fatal.h"
+#include "workloads/workloads.h"
+
+namespace chf::bench {
+
+/** Deep copy of a program (Function holds unique_ptrs). */
+inline Program
+cloneProgram(const Program &program)
+{
+    Program copy;
+    copy.fn = program.fn.clone();
+    copy.memory = program.memory;
+    copy.defaultArgs = program.defaultArgs;
+    return copy;
+}
+
+/** Everything measured for one workload under one configuration. */
+struct ConfigResult
+{
+    TimingResult timing;
+    FuncSimResult functional;
+    StatSet stats;
+};
+
+/**
+ * Compile a prepared program under @p options and measure it with both
+ * simulators. Asserts that semantics match the baseline hashes.
+ */
+inline ConfigResult
+measure(const Program &prepared, const ProfileData &profile,
+        const CompileOptions &options, int64_t expect_return,
+        uint64_t expect_memory)
+{
+    Program program = cloneProgram(prepared);
+    ConfigResult out;
+    out.stats = compileProgram(program, profile, options).stats;
+    out.functional = runFunctional(program);
+    out.timing = runTiming(program);
+    if (out.functional.returnValue != expect_return ||
+        out.functional.memoryHash != expect_memory) {
+        fatal(concat("semantics changed under ",
+                     pipelineName(options.pipeline), "/",
+                     policyKindName(options.policy)));
+    }
+    return out;
+}
+
+/** Percent improvement of @p cycles over @p base_cycles. */
+inline double
+improvementPct(uint64_t base_cycles, uint64_t cycles)
+{
+    return 100.0 *
+           (static_cast<double>(base_cycles) -
+            static_cast<double>(cycles)) /
+           static_cast<double>(base_cycles);
+}
+
+/** Render the m/t/u/p column of Table 1. */
+inline std::string
+mtup(const StatSet &stats)
+{
+    return concat(stats.get("blocksMerged"), "/",
+                  stats.get("tailDuplicated"), "/",
+                  stats.get("unrolledIterations"), "/",
+                  stats.get("peeledIterations"));
+}
+
+} // namespace chf::bench
+
+#endif // CHF_BENCH_HARNESS_H

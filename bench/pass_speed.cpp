@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Compiler-pass throughput (google-benchmark): how fast are the
+ * analyses, the scalar optimizations, formation, and the simulators on
+ * a representative workload. Useful for catching algorithmic
+ * regressions in the compiler itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/dominators.h"
+#include "analysis/liveness.h"
+#include "analysis/loops.h"
+#include "backend/scheduler.h"
+#include "hyperblock/phase_ordering.h"
+#include "sim/functional_sim.h"
+#include "sim/timing_sim.h"
+#include "transform/optimize.h"
+#include "transform/simplify_cfg.h"
+#include "workloads/workloads.h"
+
+using namespace chf;
+
+namespace {
+
+/** A prepared mid-sized workload reused across iterations. */
+const Program &
+preparedWorkload()
+{
+    static Program program = [] {
+        Program p = buildWorkload(*findWorkload("dhry"));
+        prepareProgram(p);
+        return p;
+    }();
+    return program;
+}
+
+Program
+cloneProgram(const Program &program)
+{
+    Program copy;
+    copy.fn = program.fn.clone();
+    copy.memory = program.memory;
+    copy.defaultArgs = program.defaultArgs;
+    return copy;
+}
+
+void
+BM_Dominators(benchmark::State &state)
+{
+    const Program &p = preparedWorkload();
+    for (auto _ : state) {
+        DominatorTree dom(p.fn);
+        benchmark::DoNotOptimize(dom.idom(p.fn.entry()));
+    }
+}
+BENCHMARK(BM_Dominators);
+
+void
+BM_LoopAnalysis(benchmark::State &state)
+{
+    const Program &p = preparedWorkload();
+    for (auto _ : state) {
+        LoopInfo loops(p.fn);
+        benchmark::DoNotOptimize(loops.loops().size());
+    }
+}
+BENCHMARK(BM_LoopAnalysis);
+
+void
+BM_Liveness(benchmark::State &state)
+{
+    const Program &p = preparedWorkload();
+    for (auto _ : state) {
+        Liveness live(p.fn);
+        benchmark::DoNotOptimize(live.liveIn(p.fn.entry()).count());
+    }
+}
+BENCHMARK(BM_Liveness);
+
+void
+BM_ScalarOptimize(benchmark::State &state)
+{
+    const Program &p = preparedWorkload();
+    for (auto _ : state) {
+        state.PauseTiming();
+        Program copy = cloneProgram(p);
+        state.ResumeTiming();
+        optimizeFunction(copy.fn);
+    }
+}
+BENCHMARK(BM_ScalarOptimize);
+
+void
+BM_ConvergentFormation(benchmark::State &state)
+{
+    const Program &p = preparedWorkload();
+    ProfileData profile; // frequencies already annotated on branches
+    for (auto _ : state) {
+        state.PauseTiming();
+        Program copy = cloneProgram(p);
+        state.ResumeTiming();
+        CompileOptions options;
+        options.pipeline = Pipeline::IUPO_fused;
+        options.runBackend = false;
+        compileProgram(copy, profile, options);
+    }
+}
+BENCHMARK(BM_ConvergentFormation);
+
+void
+BM_FullPipeline(benchmark::State &state)
+{
+    const Program &p = preparedWorkload();
+    ProfileData profile;
+    for (auto _ : state) {
+        state.PauseTiming();
+        Program copy = cloneProgram(p);
+        state.ResumeTiming();
+        CompileOptions options;
+        options.pipeline = Pipeline::IUPO_fused;
+        compileProgram(copy, profile, options);
+    }
+}
+BENCHMARK(BM_FullPipeline);
+
+void
+BM_Scheduler(benchmark::State &state)
+{
+    Program compiled = cloneProgram(preparedWorkload());
+    ProfileData profile;
+    CompileOptions options;
+    options.pipeline = Pipeline::IUPO_fused;
+    compileProgram(compiled, profile, options);
+    for (auto _ : state) {
+        auto placement = scheduleFunction(compiled.fn);
+        benchmark::DoNotOptimize(placement.size());
+    }
+}
+BENCHMARK(BM_Scheduler);
+
+void
+BM_FunctionalSimulator(benchmark::State &state)
+{
+    const Program &p = preparedWorkload();
+    for (auto _ : state) {
+        FuncSimResult run = runFunctional(p);
+        benchmark::DoNotOptimize(run.instsExecuted);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(runFunctional(p).instsExecuted));
+}
+BENCHMARK(BM_FunctionalSimulator);
+
+void
+BM_TimingSimulator(benchmark::State &state)
+{
+    const Program &p = preparedWorkload();
+    for (auto _ : state) {
+        TimingResult run = runTiming(p);
+        benchmark::DoNotOptimize(run.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(runTiming(p).instsExecuted));
+}
+BENCHMARK(BM_TimingSimulator);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces Table 3: percent improvement in *blocks executed* over
+ * basic blocks for the SPEC-like suite under the functional simulator
+ * (the paper uses block counts because cycle-level simulation of full
+ * SPEC is too slow; §7.3 establishes the correlation).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "../bench/harness.h"
+#include "support/table.h"
+
+using namespace chf;
+using namespace chf::bench;
+
+int
+main()
+{
+    const std::vector<std::pair<const char *, Pipeline>> configs = {
+        {"UPIO", Pipeline::UPIO},
+        {"IUPO", Pipeline::IUPO},
+        {"(IUP)O", Pipeline::IUP_O},
+        {"(IUPO)", Pipeline::IUPO_fused},
+    };
+
+    TextTable table;
+    table.setHeader({"benchmark", "BB blocks", "UPIO %", "IUPO %",
+                     "(IUP)O %", "(IUPO) %"});
+
+    std::vector<double> sums(configs.size(), 0.0);
+    size_t count = 0;
+
+    std::printf("# table3: block-count improvement over BB on the "
+                "SPEC-like suite (functional simulator)\n");
+
+    for (const auto &workload : speclikeBenchmarks()) {
+        Program base = buildWorkload(workload);
+        ProfileData profile = prepareProgram(base);
+        FuncSimResult oracle = runFunctional(base);
+
+        Program bb_program = cloneProgram(base);
+        CompileOptions bb_options;
+        bb_options.pipeline = Pipeline::BB;
+        compileProgram(bb_program, profile, bb_options);
+        FuncSimResult bb = runFunctional(bb_program);
+
+        std::vector<std::string> row;
+        row.push_back(workload.name);
+        row.push_back(std::to_string(bb.blocksExecuted));
+
+        for (size_t c = 0; c < configs.size(); ++c) {
+            Program program = cloneProgram(base);
+            CompileOptions options;
+            options.pipeline = configs[c].second;
+            compileProgram(program, profile, options);
+            FuncSimResult run = runFunctional(program);
+            if (run.returnValue != oracle.returnValue ||
+                run.memoryHash != oracle.memoryHash) {
+                fatal(concat("semantics changed for ", workload.name,
+                             " under ", configs[c].first));
+            }
+            double pct = improvementPct(bb.blocksExecuted,
+                                        run.blocksExecuted);
+            sums[c] += pct;
+            row.push_back(TextTable::pct(pct));
+        }
+        table.addRow(row);
+        ++count;
+    }
+
+    table.addSeparator();
+    std::vector<std::string> avg = {"Average", ""};
+    for (size_t c = 0; c < configs.size(); ++c)
+        avg.push_back(TextTable::pct(sums[c] / count));
+    table.addRow(avg);
+
+    std::printf("%s", table.render().c_str());
+    std::printf("\nheadline: block-count reduction averages UPIO "
+                "%+.1f%%, IUPO %+.1f%%, (IUP)O %+.1f%%, (IUPO) %+.1f%% "
+                "(paper: 48.1 / 49.9 / 50.7 / 51.8)\n",
+                sums[0] / count, sums[1] / count, sums[2] / count,
+                sums[3] / count);
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Explore block-selection policies on any registered workload: compile
+ * it under every heuristic and compare block counts, code growth,
+ * misprediction rates, and cycles.
+ *
+ * Run: ./policy_explorer [workload-name]
+ *      ./policy_explorer --list
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "hyperblock/phase_ordering.h"
+#include "sim/functional_sim.h"
+#include "sim/timing_sim.h"
+#include "support/table.h"
+#include "workloads/workloads.h"
+
+using namespace chf;
+
+namespace {
+
+Program
+cloneProgram(const Program &program)
+{
+    Program copy;
+    copy.fn = program.fn.clone();
+    copy.memory = program.memory;
+    copy.defaultArgs = program.defaultArgs;
+    return copy;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+        std::printf("microbenchmarks:\n");
+        for (const auto &w : microbenchmarks())
+            std::printf("  %-16s %s\n", w.name.c_str(), w.note.c_str());
+        std::printf("SPEC-like:\n");
+        for (const auto &w : speclikeBenchmarks())
+            std::printf("  %-16s %s\n", w.name.c_str(), w.note.c_str());
+        return 0;
+    }
+
+    const char *name = argc > 1 ? argv[1] : "bzip2_3";
+    const Workload *workload = findWorkload(name);
+    if (!workload) {
+        std::fprintf(stderr,
+                     "unknown workload '%s' (try --list)\n", name);
+        return 1;
+    }
+
+    std::printf("workload %s: %s\n\n", workload->name.c_str(),
+                workload->note.c_str());
+
+    Program base = buildWorkload(*workload);
+    ProfileData profile = prepareProgram(base);
+    FuncSimResult oracle = runFunctional(base);
+    TimingResult bb_timing = runTiming(base);
+    FuncSimResult bb_run = runFunctional(base);
+
+    TextTable table;
+    table.setHeader({"policy", "blocks", "static insts", "blocks exec",
+                     "mispredict%", "cycles", "vs BB"});
+    table.addRow({"basic blocks", std::to_string(base.fn.numBlocks()),
+                  std::to_string(base.fn.totalInsts()),
+                  std::to_string(bb_run.blocksExecuted),
+                  TextTable::fmt(bb_timing.mispredictRate() * 100, 2),
+                  std::to_string(bb_timing.cycles), "--"});
+
+    const std::pair<const char *, PolicyKind> policies[] = {
+        {"VLIW path-based", PolicyKind::Vliw},
+        {"VLIW convergent", PolicyKind::VliwConvergent},
+        {"depth-first", PolicyKind::DepthFirst},
+        {"breadth-first", PolicyKind::BreadthFirst},
+    };
+
+    for (const auto &[label, policy] : policies) {
+        Program program = cloneProgram(base);
+        CompileOptions options;
+        options.pipeline = Pipeline::IUPO_fused;
+        options.policy = policy;
+        compileProgram(program, profile, options);
+
+        FuncSimResult run = runFunctional(program);
+        TimingResult timing = runTiming(program);
+        if (run.returnValue != oracle.returnValue ||
+            run.memoryHash != oracle.memoryHash) {
+            std::fprintf(stderr, "BUG: %s changed semantics\n", label);
+            return 1;
+        }
+        double pct = 100.0 *
+                     (static_cast<double>(bb_timing.cycles) -
+                      static_cast<double>(timing.cycles)) /
+                     static_cast<double>(bb_timing.cycles);
+        table.addRow({label, std::to_string(program.fn.numBlocks()),
+                      std::to_string(program.fn.totalInsts()),
+                      std::to_string(run.blocksExecuted),
+                      TextTable::fmt(timing.mispredictRate() * 100, 2),
+                      std::to_string(timing.cycles),
+                      TextTable::pct(pct) + "%"});
+    }
+
+    std::printf("%s", table.render().c_str());
+    std::printf("\nNotes: depth-first and VLIW exclude cold paths, so "
+                "they tail-duplicate merge points (including loop "
+                "induction updates -- the paper's bzip2_3 effect) and "
+                "leave rarely-taken exits as unpredictable branches "
+                "(parser_1). Breadth-first merges whole diamonds and "
+                "removes the branches instead.\n");
+    return 0;
+}

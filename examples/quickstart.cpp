@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quickstart: build a tiny program from source, form hyperblocks with
+ * convergent formation, and measure it on both simulators.
+ *
+ * Run: ./quickstart
+ */
+
+#include <cstdio>
+
+#include "frontend/lowering.h"
+#include "hyperblock/phase_ordering.h"
+#include "ir/printer.h"
+#include "sim/functional_sim.h"
+#include "sim/timing_sim.h"
+
+using namespace chf;
+
+int
+main()
+{
+    // 1. A small kernel in TinyC: a loop with a data-dependent branch.
+    const char *source = R"(
+int data[64];
+int main() {
+  int sum = 0;
+  for (int i = 0; i < 64; i += 1) { data[i] = (i * 7) % 32; }
+  for (int i = 0; i < 64; i += 1) {
+    int v = data[i];
+    if (v > 16) { sum += v * 2; } else { sum += v; }
+  }
+  return sum;
+}
+)";
+    Program program = compileTinyC(source);
+
+    // 2. Front-end preparation: cleanup, profiling, for-loop unrolling.
+    ProfileData profile = prepareProgram(program);
+    std::printf("== basic-block CFG after the front end ==\n%s\n",
+                cfgToString(program.fn).c_str());
+
+    FuncSimResult before = runFunctional(program);
+    TimingResult before_cycles = runTiming(program);
+
+    // 3. Convergent hyperblock formation, the (IUPO) pipeline.
+    CompileOptions options;
+    options.pipeline = Pipeline::IUPO_fused;
+    CompileResult result = compileProgram(program, profile, options);
+
+    std::printf("== hyperblock CFG ==\n%s\n",
+                cfgToString(program.fn).c_str());
+    std::printf("formation stats: %s\n\n",
+                result.stats.toString().c_str());
+
+    // 4. The transformation preserved semantics and reduced both the
+    // executed block count and the cycle count.
+    FuncSimResult after = runFunctional(program);
+    TimingResult after_cycles = runTiming(program);
+
+    std::printf("result: %lld (unchanged: %s)\n",
+                static_cast<long long>(after.returnValue),
+                after.returnValue == before.returnValue &&
+                        after.memoryHash == before.memoryHash
+                    ? "yes"
+                    : "NO -- bug!");
+    std::printf("blocks executed: %llu -> %llu\n",
+                static_cast<unsigned long long>(before.blocksExecuted),
+                static_cast<unsigned long long>(after.blocksExecuted));
+    std::printf("cycles:          %llu -> %llu (%+.1f%%)\n",
+                static_cast<unsigned long long>(before_cycles.cycles),
+                static_cast<unsigned long long>(after_cycles.cycles),
+                100.0 *
+                    (static_cast<double>(before_cycles.cycles) -
+                     static_cast<double>(after_cycles.cycles)) /
+                    static_cast<double>(before_cycles.cycles));
+    return 0;
+}

@@ -1,0 +1,102 @@
+#include "analysis/dominators.h"
+
+#include <cstdint>
+#include <limits>
+
+#include "support/fatal.h"
+
+namespace chf {
+
+DominatorTree::DominatorTree(const Function &fn)
+    : entry(fn.entry())
+{
+    order = fn.reversePostOrder();
+    size_t table = fn.blockTableSize();
+    idoms.assign(table, kNoBlock);
+    rpoIndex.assign(table, std::numeric_limits<uint32_t>::max());
+    for (size_t i = 0; i < order.size(); ++i)
+        rpoIndex[order[i]] = static_cast<uint32_t>(i);
+
+    PredecessorMap preds = fn.predecessors();
+
+    // Cooper-Harvey-Kennedy: iterate intersecting predecessor doms in
+    // reverse post-order until a fixed point.
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (rpoIndex[a] > rpoIndex[b])
+                a = idoms[a];
+            while (rpoIndex[b] > rpoIndex[a])
+                b = idoms[b];
+        }
+        return a;
+    };
+
+    idoms[entry] = entry;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId id : order) {
+            if (id == entry)
+                continue;
+            BlockId new_idom = kNoBlock;
+            for (BlockId p : preds[id]) {
+                if (!reachable(p) || idoms[p] == kNoBlock)
+                    continue;
+                new_idom = new_idom == kNoBlock
+                               ? p
+                               : intersect(p, new_idom);
+            }
+            if (new_idom != kNoBlock && idoms[id] != new_idom) {
+                idoms[id] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    // The entry's idom is conventionally "none".
+    idoms[entry] = kNoBlock;
+}
+
+BlockId
+DominatorTree::idom(BlockId id) const
+{
+    CHF_ASSERT(id < idoms.size(), "idom query out of range");
+    return idoms[id];
+}
+
+bool
+DominatorTree::dominates(BlockId a, BlockId b) const
+{
+    if (!reachable(a) || !reachable(b))
+        return false;
+    // Walk b's dominator chain up to the entry.
+    BlockId cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        if (cur == entry)
+            return false;
+        cur = idoms[cur];
+        if (cur == kNoBlock)
+            return false;
+    }
+}
+
+bool
+DominatorTree::reachable(BlockId id) const
+{
+    return id < rpoIndex.size() &&
+           rpoIndex[id] != std::numeric_limits<uint32_t>::max();
+}
+
+std::vector<BlockId>
+DominatorTree::children(BlockId id) const
+{
+    std::vector<BlockId> out;
+    for (BlockId b : order) {
+        if (b != entry && idoms[b] == id)
+            out.push_back(b);
+    }
+    return out;
+}
+
+} // namespace chf

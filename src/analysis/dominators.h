@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm.
+ */
+
+#ifndef CHF_ANALYSIS_DOMINATORS_H
+#define CHF_ANALYSIS_DOMINATORS_H
+
+#include <vector>
+
+#include "ir/function.h"
+
+namespace chf {
+
+/** Immediate-dominator tree over the blocks reachable from the entry. */
+class DominatorTree
+{
+  public:
+    explicit DominatorTree(const Function &fn);
+
+    /** Immediate dominator; kNoBlock for the entry or unreachable. */
+    BlockId idom(BlockId id) const;
+
+    /** True if @p a dominates @p b (reflexive). */
+    bool dominates(BlockId a, BlockId b) const;
+
+    /** True if @p id is reachable from the entry. */
+    bool reachable(BlockId id) const;
+
+    /** Reverse post-order of reachable blocks (entry first). */
+    const std::vector<BlockId> &rpo() const { return order; }
+
+    /** Dominator-tree children of @p id. */
+    std::vector<BlockId> children(BlockId id) const;
+
+  private:
+    std::vector<BlockId> idoms;     // by block id
+    std::vector<uint32_t> rpoIndex; // by block id; UINT32_MAX unreachable
+    std::vector<BlockId> order;
+    BlockId entry;
+};
+
+} // namespace chf
+
+#endif // CHF_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,96 @@
+#include "analysis/liveness.h"
+
+#include <algorithm>
+
+namespace chf {
+
+BitVector
+blockUses(const BasicBlock &bb, uint32_t num_vregs)
+{
+    BitVector uses(num_vregs);
+    BitVector killed(num_vregs);
+    for (const auto &inst : bb.insts) {
+        inst.forEachUse([&](Vreg v) {
+            if (!killed.test(v))
+                uses.set(v);
+        });
+        if (inst.hasDest() && !inst.pred.valid())
+            killed.set(inst.dest);
+    }
+    return uses;
+}
+
+BitVector
+blockKills(const BasicBlock &bb, uint32_t num_vregs)
+{
+    BitVector kills(num_vregs);
+    for (const auto &inst : bb.insts) {
+        if (inst.hasDest() && !inst.pred.valid())
+            kills.set(inst.dest);
+    }
+    return kills;
+}
+
+BitVector
+blockDefs(const BasicBlock &bb, uint32_t num_vregs)
+{
+    BitVector defs(num_vregs);
+    for (const auto &inst : bb.insts) {
+        if (inst.hasDest())
+            defs.set(inst.dest);
+    }
+    return defs;
+}
+
+Liveness::Liveness(const Function &fn)
+{
+    uint32_t nv = fn.numVregs();
+    size_t table = fn.blockTableSize();
+    ins.assign(table, BitVector(nv));
+    outs.assign(table, BitVector(nv));
+
+    std::vector<BlockId> order = fn.reversePostOrder();
+    std::vector<BitVector> uses(table), kills(table);
+    std::vector<std::vector<BlockId>> succs(table);
+    for (BlockId id : order) {
+        const BasicBlock *bb = fn.block(id);
+        uses[id] = blockUses(*bb, nv);
+        kills[id] = blockKills(*bb, nv);
+        succs[id] = bb->successors();
+    }
+
+    // Backward fixed point: visit in post-order (reverse of RPO).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto it = order.rbegin(); it != order.rend(); ++it) {
+            BlockId id = *it;
+            BitVector out(nv);
+            for (BlockId s : succs[id])
+                out.unionWith(ins[s]);
+            BitVector in = out;
+            in.subtract(kills[id]);
+            in.unionWith(uses[id]);
+            if (out != outs[id] || in != ins[id]) {
+                outs[id] = std::move(out);
+                ins[id] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+}
+
+BitVector
+Liveness::liveOutOf(const Function &fn, const BasicBlock &bb) const
+{
+    // Size to the universe this analysis was computed over: registers
+    // allocated after construction cannot be live across blocks yet.
+    (void)fn;
+    size_t universe = ins.empty() ? 0 : ins.front().size();
+    BitVector out(universe);
+    for (BlockId s : bb.successors())
+        out.unionWith(ins.at(s));
+    return out;
+}
+
+} // namespace chf

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Block-level live-variable analysis over virtual registers.
+ *
+ * Predication is handled conservatively and correctly: a predicated
+ * write does not kill a register (the old value flows through when the
+ * predicate is false), so only unpredicated writes enter the kill set.
+ */
+
+#ifndef CHF_ANALYSIS_LIVENESS_H
+#define CHF_ANALYSIS_LIVENESS_H
+
+#include <vector>
+
+#include "ir/function.h"
+#include "support/bitvector.h"
+
+namespace chf {
+
+/** Live-in/live-out sets per block. */
+class Liveness
+{
+  public:
+    explicit Liveness(const Function &fn);
+
+    const BitVector &liveIn(BlockId id) const { return ins.at(id); }
+    const BitVector &liveOut(BlockId id) const { return outs.at(id); }
+
+    /** Registers live into any successor of @p bb given this analysis. */
+    BitVector liveOutOf(const Function &fn, const BasicBlock &bb) const;
+
+  private:
+    std::vector<BitVector> ins;
+    std::vector<BitVector> outs;
+};
+
+/**
+ * Upward-exposed uses of a block: registers read before any
+ * unpredicated write within the block (includes predicate registers and
+ * the Ret value).
+ */
+BitVector blockUses(const BasicBlock &bb, uint32_t num_vregs);
+
+/** Registers written unconditionally (unpredicated defs). */
+BitVector blockKills(const BasicBlock &bb, uint32_t num_vregs);
+
+/** Registers written at all (predicated or not). */
+BitVector blockDefs(const BasicBlock &bb, uint32_t num_vregs);
+
+} // namespace chf
+
+#endif // CHF_ANALYSIS_LIVENESS_H

@@ -1,0 +1,119 @@
+#include "analysis/loops.h"
+
+#include <algorithm>
+
+#include "support/fatal.h"
+
+namespace chf {
+
+LoopInfo::LoopInfo(const Function &fn)
+    : domTree(fn)
+{
+    blockDepth.assign(fn.blockTableSize(), 0);
+
+    // Find back edges and group them by header.
+    std::vector<std::pair<BlockId, BlockId>> back_edges;
+    for (BlockId id : fn.blockIds()) {
+        if (!domTree.reachable(id))
+            continue;
+        for (BlockId succ : fn.block(id)->successors()) {
+            if (domTree.dominates(succ, id))
+                back_edges.emplace_back(id, succ);
+        }
+    }
+
+    // Build one natural loop per header: all blocks that can reach a
+    // latch without passing through the header.
+    std::vector<BlockId> headers;
+    for (const auto &[latch, header] : back_edges) {
+        if (std::find(headers.begin(), headers.end(), header) ==
+            headers.end()) {
+            headers.push_back(header);
+        }
+    }
+
+    PredecessorMap preds = fn.predecessors();
+    for (BlockId header : headers) {
+        Loop loop;
+        loop.header = header;
+        std::vector<uint8_t> in_loop(fn.blockTableSize(), 0);
+        in_loop[header] = 1;
+        loop.blocks.push_back(header);
+        std::vector<BlockId> worklist;
+        for (const auto &[latch, h] : back_edges) {
+            if (h != header)
+                continue;
+            loop.latches.push_back(latch);
+            if (!in_loop[latch]) {
+                in_loop[latch] = 1;
+                loop.blocks.push_back(latch);
+                worklist.push_back(latch);
+            }
+        }
+        while (!worklist.empty()) {
+            BlockId b = worklist.back();
+            worklist.pop_back();
+            for (BlockId p : preds[b]) {
+                if (!domTree.reachable(p) || in_loop[p])
+                    continue;
+                in_loop[p] = 1;
+                loop.blocks.push_back(p);
+                worklist.push_back(p);
+            }
+        }
+        std::sort(loop.blocks.begin(), loop.blocks.end());
+        allLoops.push_back(std::move(loop));
+    }
+
+    // Depth: number of loops containing each block; loop depth = depth
+    // of its header.
+    for (const Loop &loop : allLoops) {
+        for (BlockId b : loop.blocks)
+            blockDepth[b]++;
+    }
+    for (Loop &loop : allLoops)
+        loop.depth = blockDepth[loop.header];
+}
+
+bool
+LoopInfo::isBackEdge(BlockId from, BlockId to) const
+{
+    return domTree.reachable(from) && domTree.dominates(to, from);
+}
+
+bool
+LoopInfo::isLoopHeader(BlockId id) const
+{
+    return loopAt(id) != nullptr;
+}
+
+const Loop *
+LoopInfo::loopAt(BlockId header) const
+{
+    for (const Loop &loop : allLoops) {
+        if (loop.header == header)
+            return &loop;
+    }
+    return nullptr;
+}
+
+const Loop *
+LoopInfo::innermostContaining(BlockId id) const
+{
+    const Loop *best = nullptr;
+    for (const Loop &loop : allLoops) {
+        if (loop.contains(id) && (!best || loop.depth > best->depth))
+            best = &loop;
+    }
+    return best;
+}
+
+int
+LoopInfo::depth(BlockId id) const
+{
+    if (id >= blockDepth.size())
+        return 0;
+    return blockDepth[id];
+}
+
+} // namespace chf

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Natural-loop analysis on top of the dominator tree.
+ *
+ * Head duplication needs to answer two questions about a candidate merge
+ * (paper Fig. 5): is HB -> S a back edge, and is S a loop header. Loops
+ * are identified as natural loops of back edges (target dominates
+ * source); back edges sharing a header are merged into one loop.
+ */
+
+#ifndef CHF_ANALYSIS_LOOPS_H
+#define CHF_ANALYSIS_LOOPS_H
+
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "ir/function.h"
+
+namespace chf {
+
+/** One natural loop. */
+struct Loop
+{
+    BlockId header = kNoBlock;
+
+    /** Member block ids (header included). */
+    std::vector<BlockId> blocks;
+
+    /** Source blocks of back edges into the header. */
+    std::vector<BlockId> latches;
+
+    /** Nesting depth: 1 for outermost. */
+    int depth = 1;
+
+    bool
+    contains(BlockId id) const
+    {
+        for (BlockId b : blocks) {
+            if (b == id)
+                return true;
+        }
+        return false;
+    }
+};
+
+/** All natural loops of a function. */
+class LoopInfo
+{
+  public:
+    explicit LoopInfo(const Function &fn);
+
+    /** True if @p from -> @p to is a back edge (to dominates from). */
+    bool isBackEdge(BlockId from, BlockId to) const;
+
+    /** True if some back edge targets @p id. */
+    bool isLoopHeader(BlockId id) const;
+
+    /** The loop headed by @p header; nullptr if none. */
+    const Loop *loopAt(BlockId header) const;
+
+    /** Innermost loop containing @p id; nullptr if not in any loop. */
+    const Loop *innermostContaining(BlockId id) const;
+
+    /** Nesting depth of @p id (0 if in no loop). */
+    int depth(BlockId id) const;
+
+    const std::vector<Loop> &loops() const { return allLoops; }
+
+    const DominatorTree &dominators() const { return domTree; }
+
+  private:
+    DominatorTree domTree;
+    std::vector<Loop> allLoops;
+    std::vector<int> blockDepth; // by block id
+};
+
+} // namespace chf
+
+#endif // CHF_ANALYSIS_LOOPS_H

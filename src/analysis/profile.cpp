@@ -1,0 +1,113 @@
+#include "analysis/profile.h"
+
+#include <algorithm>
+
+#include "analysis/loops.h"
+#include "support/fatal.h"
+
+namespace chf {
+
+uint64_t
+EdgeProfile::blockCount(BlockId id) const
+{
+    uint64_t total = entryCount(id);
+    for (const auto &[k, v] : counts) {
+        if ((k & 0xffffffffull) == id)
+            total += v;
+    }
+    return total;
+}
+
+double
+TripCountHistograms::meanTrips(BlockId header) const
+{
+    const auto &hist = histogram(header);
+    uint64_t visits = 0, trips = 0;
+    for (const auto &[t, n] : hist) {
+        visits += n;
+        trips += t * n;
+    }
+    return visits == 0 ? 0.0 : static_cast<double>(trips) / visits;
+}
+
+uint64_t
+TripCountHistograms::tripQuantile(BlockId header, double fraction) const
+{
+    const auto &hist = histogram(header);
+    uint64_t visits = 0;
+    for (const auto &[t, n] : hist)
+        visits += n;
+    if (visits == 0)
+        return 0;
+    uint64_t threshold =
+        static_cast<uint64_t>(fraction * static_cast<double>(visits));
+    uint64_t seen = 0;
+    for (const auto &[t, n] : hist) {
+        seen += n;
+        if (seen >= threshold)
+            return t;
+    }
+    return hist.rbegin()->first;
+}
+
+void
+annotateBranchFrequencies(
+    Function &fn, const std::vector<std::vector<uint64_t>> &branch_fires)
+{
+    for (BlockId id : fn.blockIds()) {
+        BasicBlock *bb = fn.block(id);
+        const std::vector<uint64_t> *fires =
+            id < branch_fires.size() ? &branch_fires[id] : nullptr;
+        for (size_t i = 0; i < bb->insts.size(); ++i) {
+            Instruction &inst = bb->insts[i];
+            if (!inst.isBranch())
+                continue;
+            uint64_t count =
+                fires && i < fires->size() ? (*fires)[i] : 0;
+            inst.freq = static_cast<double>(count);
+        }
+    }
+}
+
+TripCountHistograms
+computeTripHistograms(const std::vector<BlockId> &trace,
+                      const LoopInfo &loops)
+{
+    TripCountHistograms result;
+    for (const Loop &loop : loops.loops()) {
+        // Membership bit set for O(1) queries.
+        BlockId max_id = 0;
+        for (BlockId b : loop.blocks)
+            max_id = std::max(max_id, b);
+        std::vector<uint8_t> member(max_id + 1, 0);
+        for (BlockId b : loop.blocks)
+            member[b] = 1;
+        auto in_loop = [&](BlockId b) {
+            return b <= max_id && member[b];
+        };
+
+        bool active = false;
+        uint64_t trips = 0;
+        for (BlockId b : trace) {
+            if (b == loop.header) {
+                if (!active) {
+                    active = true;
+                    trips = 1;
+                } else {
+                    ++trips;
+                }
+            } else if (active && !in_loop(b)) {
+                // A top-tested loop executes its header once more than
+                // the body; report body iterations.
+                result.record(loop.header, trips > 0 ? trips - 1 : 0);
+                active = false;
+                trips = 0;
+            }
+        }
+        if (active)
+            result.record(loop.header, trips > 0 ? trips - 1 : 0);
+    }
+    return result;
+}
+
+} // namespace chf

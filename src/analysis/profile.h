@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Execution profiles: per-edge/per-branch frequencies and loop trip-count
+ * histograms. Profiles are produced by the functional simulator on the
+ * basic-block program and annotated onto branch instructions, where the
+ * transforms maintain them through duplication.
+ */
+
+#ifndef CHF_ANALYSIS_PROFILE_H
+#define CHF_ANALYSIS_PROFILE_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace chf {
+
+class LoopInfo;
+
+/** CFG edge execution counts keyed by (from, to) block ids. */
+class EdgeProfile
+{
+  public:
+    void
+    addEdge(BlockId from, BlockId to, uint64_t count = 1)
+    {
+        counts[key(from, to)] += count;
+    }
+
+    uint64_t
+    edgeCount(BlockId from, BlockId to) const
+    {
+        auto it = counts.find(key(from, to));
+        return it == counts.end() ? 0 : it->second;
+    }
+
+    /** Total executions of a block = sum of incoming edge counts. */
+    uint64_t blockCount(BlockId id) const;
+
+    /** Record that @p id executed as the program entry. */
+    void addEntry(BlockId id, uint64_t count = 1) { entries[id] += count; }
+
+    uint64_t
+    entryCount(BlockId id) const
+    {
+        auto it = entries.find(id);
+        return it == entries.end() ? 0 : it->second;
+    }
+
+    bool empty() const { return counts.empty() && entries.empty(); }
+
+  private:
+    static uint64_t
+    key(BlockId from, BlockId to)
+    {
+        return (static_cast<uint64_t>(from) << 32) | to;
+    }
+
+    std::map<uint64_t, uint64_t> counts;
+    std::map<BlockId, uint64_t> entries;
+};
+
+/**
+ * Per-loop-header histogram of observed trip counts. The peeling policy
+ * uses these to pick how many iterations to peel (paper §5, "Loop peeling
+ * and unrolling").
+ */
+class TripCountHistograms
+{
+  public:
+    /** Record one completed visit to the loop with @p trips iterations. */
+    void
+    record(BlockId header, uint64_t trips)
+    {
+        histograms[header][trips]++;
+    }
+
+    /** True if the loop at @p header was ever observed. */
+    bool
+    has(BlockId header) const
+    {
+        return histograms.count(header) > 0;
+    }
+
+    /** Mean trip count; zero if never observed. */
+    double meanTrips(BlockId header) const;
+
+    /**
+     * Smallest k such that at least @p fraction of observed loop visits
+     * ran at most k iterations. Used to choose a peel factor.
+     */
+    uint64_t tripQuantile(BlockId header, double fraction) const;
+
+    const std::map<uint64_t, uint64_t> &
+    histogram(BlockId header) const
+    {
+        static const std::map<uint64_t, uint64_t> empty;
+        auto it = histograms.find(header);
+        return it == histograms.end() ? empty : it->second;
+    }
+
+  private:
+    std::map<BlockId, std::map<uint64_t, uint64_t>> histograms;
+};
+
+/** Complete profile bundle for a function. */
+struct ProfileData
+{
+    EdgeProfile edges;
+    TripCountHistograms trips;
+};
+
+/**
+ * Write branch frequencies from @p profile onto the branch instructions
+ * of @p fn. Frequencies are per-branch-instruction fire counts collected
+ * by the functional simulator, so multiple branches to the same target
+ * are distinguished.
+ */
+void annotateBranchFrequencies(
+    Function &fn,
+    const std::vector<std::vector<uint64_t>> &branch_fires);
+
+/**
+ * Derive trip-count histograms from an edge trace. @p trace is the
+ * sequence of executed block ids; requires loop analysis for header and
+ * membership queries.
+ */
+TripCountHistograms computeTripHistograms(
+    const std::vector<BlockId> &trace, const LoopInfo &loops);
+
+} // namespace chf
+
+#endif // CHF_ANALYSIS_PROFILE_H

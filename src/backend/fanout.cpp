@@ -1,0 +1,115 @@
+#include "backend/fanout.h"
+
+#include <map>
+
+namespace chf {
+
+size_t
+insertFanout(Function &fn, BasicBlock &bb)
+{
+    // Collect, per producing instruction index, its in-block consumer
+    // positions (src or predicate reads) up to the next redefinition.
+    // Values read from outside the block (live-ins) arrive through the
+    // register file, which broadcasts; only in-block producers fan out.
+    size_t moves = 0;
+    bool changed = true;
+
+    // One mov is inserted per rescan (indices go stale); the guard
+    // bounds pathological blocks.
+    int guard = 0;
+    while (changed && guard++ < 4096) {
+        changed = false;
+
+        // Map register -> index of the instruction that currently
+        // provides it (the latest def at this point in the scan).
+        std::map<Vreg, size_t> provider;
+        std::map<size_t, std::vector<std::pair<size_t, int>>> consumers;
+        // consumer entry: (instruction index, operand slot); slot -1
+        // is the predicate.
+
+        for (size_t i = 0; i < bb.insts.size(); ++i) {
+            const Instruction &inst = bb.insts[i];
+            for (int s = 0; s < inst.numSrcs(); ++s) {
+                if (!inst.srcs[s].isReg())
+                    continue;
+                auto it = provider.find(inst.srcs[s].reg);
+                if (it != provider.end())
+                    consumers[it->second].emplace_back(i, s);
+            }
+            if (inst.pred.valid()) {
+                auto it = provider.find(inst.pred.reg);
+                if (it != provider.end())
+                    consumers[it->second].emplace_back(i, -1);
+            }
+            if (inst.hasDest())
+                provider[inst.dest] = i;
+        }
+
+        // Find the first over-subscribed producer. Rather than peeling
+        // one consumer per mov (a latency-linear chain), split the
+        // consumer set in half across two movs; recursion over rescans
+        // yields a balanced tree of logarithmic depth, matching the
+        // fanout trees a real EDGE scheduler builds.
+        for (auto &[prod_idx, uses] : consumers) {
+            if (uses.size() <= kMaxTargets)
+                continue;
+
+            Vreg orig = bb.insts[prod_idx].dest;
+            auto rewire = [&](size_t from, size_t to, Vreg copy) {
+                for (size_t u = from; u < to; ++u) {
+                    auto [ci, slot] = uses[u];
+                    Instruction &consumer = bb.insts[ci];
+                    if (slot < 0)
+                        consumer.pred.reg = copy;
+                    else
+                        consumer.srcs[slot] = Operand::makeReg(copy);
+                }
+            };
+
+            if (uses.size() <= kMaxTargets + 1) {
+                // One mov suffices: producer keeps the first consumer,
+                // the mov serves the rest.
+                Vreg copy = fn.newVreg();
+                rewire(kMaxTargets - 1, uses.size(), copy);
+                bb.insts.insert(bb.insts.begin() +
+                                    static_cast<long>(prod_idx) + 1,
+                                Instruction::unary(
+                                    Opcode::Mov, copy,
+                                    Operand::makeReg(orig)));
+                ++moves;
+            } else {
+                // Two movs, half the consumers each; deeper levels are
+                // handled when the rescan finds the movs themselves
+                // over-subscribed.
+                Vreg left = fn.newVreg();
+                Vreg right = fn.newVreg();
+                size_t half = uses.size() / 2;
+                rewire(0, half, left);
+                rewire(half, uses.size(), right);
+                bb.insts.insert(
+                    bb.insts.begin() + static_cast<long>(prod_idx) + 1,
+                    Instruction::unary(Opcode::Mov, right,
+                                       Operand::makeReg(orig)));
+                bb.insts.insert(
+                    bb.insts.begin() + static_cast<long>(prod_idx) + 1,
+                    Instruction::unary(Opcode::Mov, left,
+                                       Operand::makeReg(orig)));
+                moves += 2;
+            }
+            changed = true;
+            break; // indices are stale; rescan
+        }
+    }
+    return moves;
+}
+
+size_t
+insertFanoutFunction(Function &fn)
+{
+    size_t total = 0;
+    for (BlockId id : fn.blockIds())
+        total += insertFanout(fn, *fn.block(id));
+    return total;
+}
+
+} // namespace chf

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fanout insertion (paper Fig. 6).
+ *
+ * TRIPS instructions encode at most two consumer targets; a value with
+ * more consumers needs a tree/chain of mov instructions to replicate
+ * it. This pass inserts those moves after each over-subscribed
+ * producer and rewires the extra consumers, adding both the
+ * instruction count and the serialization latency the size estimator
+ * predicted during formation.
+ */
+
+#ifndef CHF_BACKEND_FANOUT_H
+#define CHF_BACKEND_FANOUT_H
+
+#include "ir/function.h"
+
+namespace chf {
+
+/** Maximum consumers a producer can target directly. */
+constexpr size_t kMaxTargets = 2;
+
+/** Insert fanout moves in @p bb. @return moves inserted. */
+size_t insertFanout(Function &fn, BasicBlock &bb);
+
+/** Insert fanout moves everywhere. @return total moves. */
+size_t insertFanoutFunction(Function &fn);
+
+} // namespace chf
+
+#endif // CHF_BACKEND_FANOUT_H

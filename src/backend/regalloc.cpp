@@ -1,0 +1,136 @@
+#include "backend/regalloc.h"
+
+#include <algorithm>
+
+#include "analysis/liveness.h"
+#include "transform/reverse_if_convert.h"
+
+namespace chf {
+
+namespace {
+
+/** Rewrite one block to load/store a spilled register around uses. */
+size_t
+spillInBlock(BasicBlock &bb, Vreg reg, int64_t slot_addr,
+             const BitVector &live_in, const BitVector &live_out)
+{
+    size_t inserted = 0;
+    std::vector<Instruction> out;
+    out.reserve(bb.insts.size() + 2);
+
+    bool defined = false;
+    bool has_predicated_def = false;
+    for (const auto &inst : bb.insts) {
+        if (inst.hasDest() && inst.dest == reg) {
+            defined = true;
+            if (inst.pred.valid())
+                has_predicated_def = true;
+        }
+    }
+
+    // Reload at block entry if the block reads the value before
+    // (re)defining it, or if a predicated def may not fire while the
+    // exit store runs unconditionally (the flow-through value must be
+    // in the register).
+    BitVector uses = blockUses(bb, live_in.size());
+    bool store_at_exit = defined && live_out.test(reg);
+    if (live_in.test(reg) &&
+        (uses.test(reg) || (store_at_exit && has_predicated_def))) {
+        out.push_back(Instruction::load(reg,
+                                        Operand::makeImm(slot_addr),
+                                        Operand::makeImm(0)));
+        ++inserted;
+    }
+
+    for (const auto &inst : bb.insts)
+        out.push_back(inst);
+
+    // Store at block exit when the (possibly new) value flows out.
+    if (store_at_exit) {
+        out.push_back(Instruction::store(Operand::makeImm(slot_addr),
+                                         Operand::makeImm(0),
+                                         Operand::makeReg(reg)));
+        ++inserted;
+    }
+    bb.insts = std::move(out);
+    return inserted;
+}
+
+} // namespace
+
+RegAllocResult
+allocateRegisters(Program &program, const RegAllocOptions &options)
+{
+    Function &fn = program.fn;
+    RegAllocResult result;
+
+    Liveness liveness(fn);
+    uint32_t nv = fn.numVregs();
+
+    // Cross-block values: live into any block, plus the arguments.
+    BitVector cross(nv);
+    for (BlockId id : fn.blockIds())
+        cross.unionWith(liveness.liveIn(id));
+    for (Vreg arg : fn.argRegs) {
+        if (arg < nv)
+            cross.set(arg);
+    }
+    result.crossBlockValues = cross.count();
+
+    // Weight each value by the frequency of the blocks that touch it.
+    std::vector<double> weight(nv, 0.0);
+    for (BlockId id : fn.blockIds()) {
+        const BasicBlock *bb = fn.block(id);
+        double f = std::max(bb->frequency(), 1.0);
+        for (const auto &inst : bb->insts) {
+            inst.forEachUse([&](Vreg v) { weight[v] += f; });
+            if (inst.hasDest())
+                weight[inst.dest] += f;
+        }
+    }
+
+    std::vector<Vreg> values = cross.bits();
+    std::sort(values.begin(), values.end(), [&](Vreg a, Vreg b) {
+        if (weight[a] != weight[b])
+            return weight[a] > weight[b];
+        return a < b;
+    });
+
+    // Hot values get registers (round-robin banks via id order); the
+    // rest spill.
+    std::vector<Vreg> spilled;
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (i < options.numPhysRegs) {
+            result.assignment[values[i]] =
+                static_cast<uint32_t>(i);
+        } else {
+            spilled.push_back(values[i]);
+        }
+    }
+    result.spilledValues = spilled.size();
+
+    if (!spilled.empty()) {
+        if (!program.memory.hasRegion("spill"))
+            program.memory.allocate("spill",
+                                    static_cast<int64_t>(spilled.size()));
+        const GlobalRegion &region = program.memory.region("spill");
+        for (size_t i = 0; i < spilled.size(); ++i) {
+            Vreg reg = spilled[i];
+            int64_t slot = region.base + static_cast<int64_t>(i);
+            for (BlockId id : fn.blockIds()) {
+                BasicBlock *bb = fn.block(id);
+                result.spillInstsInserted += spillInBlock(
+                    *bb, reg, slot, liveness.liveIn(id),
+                    liveness.liveOut(id));
+            }
+        }
+        // Spill code may have blown the structural limits: reverse
+        // if-convert (split) the offenders.
+        result.blocksSplit =
+            splitOversizedBlocks(fn, options.constraints);
+    }
+
+    return result;
+}
+
+} // namespace chf

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Register allocation for a TRIPS-like target.
+ *
+ * Within an EDGE block, temporaries communicate directly between
+ * instructions and consume no architectural registers; only values
+ * live *across* blocks need one of the 128 registers (paper §9, "Basic
+ * block splitting": "temporary values do not consume architectural
+ * registers due to direct instruction communication"). The allocator
+ * therefore assigns physical registers only to cross-block live
+ * values, spilling the coldest ones to a reserved memory region when
+ * demand exceeds the file. Spill code can push a block over the
+ * structural limits, in which case the block is split (reverse
+ * if-conversion, paper §6) and allocation re-validated.
+ */
+
+#ifndef CHF_BACKEND_REGALLOC_H
+#define CHF_BACKEND_REGALLOC_H
+
+#include <map>
+
+#include "hyperblock/constraints.h"
+#include "ir/program.h"
+
+namespace chf {
+
+/** Allocation configuration. */
+struct RegAllocOptions
+{
+    size_t numPhysRegs = 128;
+    TripsConstraints constraints;
+};
+
+/** Allocation outcome. */
+struct RegAllocResult
+{
+    /** Cross-block vreg -> physical register (spilled regs absent). */
+    std::map<Vreg, uint32_t> assignment;
+
+    size_t crossBlockValues = 0;
+    size_t spilledValues = 0;
+    size_t spillInstsInserted = 0;
+    size_t blocksSplit = 0;
+};
+
+/**
+ * Allocate registers for @p program, inserting spill code and
+ * splitting blocks as needed. The memory image gains (or reuses) a
+ * "spill" region.
+ */
+RegAllocResult allocateRegisters(Program &program,
+                                 const RegAllocOptions &options = {});
+
+} // namespace chf
+
+#endif // CHF_BACKEND_REGALLOC_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Spatial instruction scheduler: greedy placement of each block's
+ * instructions onto the 4x4 grid of execution tiles (in the spirit of
+ * SPDI scheduling for EDGE targets). The placement feeds the timing
+ * model, which charges one cycle per Manhattan hop for every
+ * producer-to-consumer operand transfer and serializes issue per tile.
+ */
+
+#ifndef CHF_BACKEND_SCHEDULER_H
+#define CHF_BACKEND_SCHEDULER_H
+
+#include <map>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace chf {
+
+/** Grid configuration. */
+struct SchedulerOptions
+{
+    int gridWidth = 4;
+    int gridHeight = 4;
+    size_t slotsPerTile = 8; ///< 128 insts / 16 tiles
+
+    int numTiles() const { return gridWidth * gridHeight; }
+};
+
+/** Per-block tile assignment (index parallel to the block's insts). */
+using Placement = std::vector<int>;
+
+/** Manhattan distance between tiles in the grid. */
+int tileDistance(int a, int b, const SchedulerOptions &options);
+
+/** Place one block's instructions. */
+Placement scheduleBlock(const BasicBlock &bb,
+                        const SchedulerOptions &options = {});
+
+/** Place every block. */
+std::map<BlockId, Placement> scheduleFunction(
+    const Function &fn, const SchedulerOptions &options = {});
+
+} // namespace chf
+
+#endif // CHF_BACKEND_SCHEDULER_H

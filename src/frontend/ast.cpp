@@ -1,0 +1,56 @@
+#include "frontend/ast.h"
+
+#include <sstream>
+
+namespace chf {
+
+const FuncDecl *
+TranslationUnit::findFunction(const std::string &name) const
+{
+    for (const auto &fn : functions) {
+        if (fn.name == name)
+            return &fn;
+    }
+    return nullptr;
+}
+
+std::string
+toString(const Expr &expr)
+{
+    std::ostringstream os;
+    switch (expr.kind) {
+      case Expr::Kind::IntLit:
+        os << expr.intValue;
+        break;
+      case Expr::Kind::Var:
+        os << expr.name;
+        break;
+      case Expr::Kind::Index:
+        os << expr.name << "[" << toString(*expr.lhs) << "]";
+        break;
+      case Expr::Kind::Unary:
+        os << "(" << expr.op << toString(*expr.lhs) << ")";
+        break;
+      case Expr::Kind::Binary:
+        os << "(" << toString(*expr.lhs) << " " << expr.op << " "
+           << toString(*expr.rhs) << ")";
+        break;
+      case Expr::Kind::Ternary:
+        os << "(" << toString(*expr.args[0]) << " ? "
+           << toString(*expr.args[1]) << " : "
+           << toString(*expr.args[2]) << ")";
+        break;
+      case Expr::Kind::Call:
+        os << expr.name << "(";
+        for (size_t i = 0; i < expr.args.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << toString(*expr.args[i]);
+        }
+        os << ")";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace chf

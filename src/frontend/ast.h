@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Abstract syntax tree for TinyC.
+ */
+
+#ifndef CHF_FRONTEND_AST_H
+#define CHF_FRONTEND_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace chf {
+
+/** Expression node. */
+struct Expr
+{
+    enum class Kind : uint8_t
+    {
+        IntLit,  ///< intValue
+        Var,     ///< name
+        Index,   ///< name[lhs]
+        Unary,   ///< op lhs, op in {-, !, ~}
+        Binary,  ///< lhs op rhs
+        Call,    ///< name(args...)
+        Ternary, ///< args[0] ? args[1] : args[2]
+    };
+
+    Kind kind;
+    int line = 0;
+    int64_t intValue = 0;
+    std::string name;
+    std::string op;
+    std::unique_ptr<Expr> lhs;
+    std::unique_ptr<Expr> rhs;
+    std::vector<std::unique_ptr<Expr>> args;
+};
+
+/** Statement node. */
+struct Stmt
+{
+    enum class Kind : uint8_t
+    {
+        Block,     ///< stmts
+        LocalDecl, ///< int name = value;
+        Assign,    ///< name[index]? op value, op in {=, +=, -=, *=, /=, %=}
+        If,        ///< if (cond) thenStmt else elseStmt
+        While,     ///< while (cond) body
+        DoWhile,   ///< do body while (cond);
+        For,       ///< for (init; cond; step) body
+        Return,    ///< return value;
+        Break,
+        Continue,
+        ExprStmt,  ///< value; (evaluated for call side effects)
+    };
+
+    Kind kind;
+    int line = 0;
+    std::string name;
+    std::string op;
+    std::unique_ptr<Expr> index;
+    std::unique_ptr<Expr> value;
+    std::unique_ptr<Expr> cond;
+    std::unique_ptr<Stmt> thenStmt;
+    std::unique_ptr<Stmt> elseStmt;
+    std::unique_ptr<Stmt> body;
+    std::unique_ptr<Stmt> init;
+    std::unique_ptr<Stmt> step;
+    std::vector<std::unique_ptr<Stmt>> stmts;
+};
+
+/** Function definition. */
+struct FuncDecl
+{
+    std::string name;
+    std::vector<std::string> params;
+    std::unique_ptr<Stmt> body;
+    int line = 0;
+};
+
+/** Global scalar or array declaration. */
+struct GlobalDecl
+{
+    std::string name;
+    /** Negative for a scalar; otherwise the array element count. */
+    int64_t arraySize = -1;
+    /** Optional initializer values. */
+    std::vector<int64_t> init;
+    int line = 0;
+};
+
+/** A parsed TinyC source file. */
+struct TranslationUnit
+{
+    std::vector<GlobalDecl> globals;
+    std::vector<FuncDecl> functions;
+
+    /** Function by name; nullptr if absent. */
+    const FuncDecl *findFunction(const std::string &name) const;
+};
+
+/** Render an expression back to source-like text (for diagnostics). */
+std::string toString(const Expr &expr);
+
+} // namespace chf
+
+#endif // CHF_FRONTEND_AST_H

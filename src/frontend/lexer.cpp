@@ -1,0 +1,227 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+
+#include "support/fatal.h"
+
+namespace chf {
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::End: return "end of input";
+      case TokenKind::IntLit: return "integer literal";
+      case TokenKind::Ident: return "identifier";
+      case TokenKind::KwInt: return "'int'";
+      case TokenKind::KwIf: return "'if'";
+      case TokenKind::KwElse: return "'else'";
+      case TokenKind::KwWhile: return "'while'";
+      case TokenKind::KwFor: return "'for'";
+      case TokenKind::KwDo: return "'do'";
+      case TokenKind::KwReturn: return "'return'";
+      case TokenKind::KwBreak: return "'break'";
+      case TokenKind::KwContinue: return "'continue'";
+      case TokenKind::LParen: return "'('";
+      case TokenKind::RParen: return "')'";
+      case TokenKind::LBrace: return "'{'";
+      case TokenKind::RBrace: return "'}'";
+      case TokenKind::LBracket: return "'['";
+      case TokenKind::RBracket: return "']'";
+      case TokenKind::Semicolon: return "';'";
+      case TokenKind::Comma: return "','";
+      case TokenKind::Question: return "'?'";
+      case TokenKind::Colon: return "':'";
+      case TokenKind::Assign: return "'='";
+      case TokenKind::PlusAssign: return "'+='";
+      case TokenKind::MinusAssign: return "'-='";
+      case TokenKind::StarAssign: return "'*='";
+      case TokenKind::SlashAssign: return "'/='";
+      case TokenKind::PercentAssign: return "'%='";
+      case TokenKind::Plus: return "'+'";
+      case TokenKind::Minus: return "'-'";
+      case TokenKind::Star: return "'*'";
+      case TokenKind::Slash: return "'/'";
+      case TokenKind::Percent: return "'%'";
+      case TokenKind::Amp: return "'&'";
+      case TokenKind::Pipe: return "'|'";
+      case TokenKind::Caret: return "'^'";
+      case TokenKind::Tilde: return "'~'";
+      case TokenKind::Shl: return "'<<'";
+      case TokenKind::Shr: return "'>>'";
+      case TokenKind::AmpAmp: return "'&&'";
+      case TokenKind::PipePipe: return "'||'";
+      case TokenKind::Bang: return "'!'";
+      case TokenKind::Eq: return "'=='";
+      case TokenKind::Ne: return "'!='";
+      case TokenKind::Lt: return "'<'";
+      case TokenKind::Le: return "'<='";
+      case TokenKind::Gt: return "'>'";
+      case TokenKind::Ge: return "'>='";
+    }
+    return "?";
+}
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    std::vector<Token> tokens;
+    size_t i = 0;
+    int line = 1;
+    size_t n = source.size();
+
+    auto peek = [&](size_t k = 0) -> char {
+        return i + k < n ? source[i + k] : '\0';
+    };
+
+    auto push = [&](TokenKind kind, std::string text, size_t advance) {
+        Token tok;
+        tok.kind = kind;
+        tok.text = std::move(text);
+        tok.line = line;
+        tokens.push_back(std::move(tok));
+        i += advance;
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            i += 2;
+            while (i < n && !(source[i] == '*' && peek(1) == '/')) {
+                if (source[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i >= n)
+                fatal(concat("line ", line, ": unterminated comment"));
+            i += 2;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = i;
+            while (i < n &&
+                   std::isdigit(static_cast<unsigned char>(source[i]))) {
+                ++i;
+            }
+            Token tok;
+            tok.kind = TokenKind::IntLit;
+            tok.text = source.substr(start, i - start);
+            tok.intValue = std::stoll(tok.text);
+            tok.line = line;
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = i;
+            while (i < n &&
+                   (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                    source[i] == '_')) {
+                ++i;
+            }
+            std::string text = source.substr(start, i - start);
+            TokenKind kind = TokenKind::Ident;
+            if (text == "int") kind = TokenKind::KwInt;
+            else if (text == "if") kind = TokenKind::KwIf;
+            else if (text == "else") kind = TokenKind::KwElse;
+            else if (text == "while") kind = TokenKind::KwWhile;
+            else if (text == "for") kind = TokenKind::KwFor;
+            else if (text == "do") kind = TokenKind::KwDo;
+            else if (text == "return") kind = TokenKind::KwReturn;
+            else if (text == "break") kind = TokenKind::KwBreak;
+            else if (text == "continue") kind = TokenKind::KwContinue;
+            Token tok;
+            tok.kind = kind;
+            tok.text = std::move(text);
+            tok.line = line;
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+
+        char c1 = peek(1);
+        switch (c) {
+          case '(': push(TokenKind::LParen, "(", 1); continue;
+          case ')': push(TokenKind::RParen, ")", 1); continue;
+          case '{': push(TokenKind::LBrace, "{", 1); continue;
+          case '}': push(TokenKind::RBrace, "}", 1); continue;
+          case '[': push(TokenKind::LBracket, "[", 1); continue;
+          case ']': push(TokenKind::RBracket, "]", 1); continue;
+          case ';': push(TokenKind::Semicolon, ";", 1); continue;
+          case ',': push(TokenKind::Comma, ",", 1); continue;
+          case '?': push(TokenKind::Question, "?", 1); continue;
+          case ':': push(TokenKind::Colon, ":", 1); continue;
+          case '~': push(TokenKind::Tilde, "~", 1); continue;
+          case '^': push(TokenKind::Caret, "^", 1); continue;
+          case '+':
+            c1 == '=' ? push(TokenKind::PlusAssign, "+=", 2)
+                      : push(TokenKind::Plus, "+", 1);
+            continue;
+          case '-':
+            c1 == '=' ? push(TokenKind::MinusAssign, "-=", 2)
+                      : push(TokenKind::Minus, "-", 1);
+            continue;
+          case '*':
+            c1 == '=' ? push(TokenKind::StarAssign, "*=", 2)
+                      : push(TokenKind::Star, "*", 1);
+            continue;
+          case '/':
+            c1 == '=' ? push(TokenKind::SlashAssign, "/=", 2)
+                      : push(TokenKind::Slash, "/", 1);
+            continue;
+          case '%':
+            c1 == '=' ? push(TokenKind::PercentAssign, "%=", 2)
+                      : push(TokenKind::Percent, "%", 1);
+            continue;
+          case '&':
+            c1 == '&' ? push(TokenKind::AmpAmp, "&&", 2)
+                      : push(TokenKind::Amp, "&", 1);
+            continue;
+          case '|':
+            c1 == '|' ? push(TokenKind::PipePipe, "||", 2)
+                      : push(TokenKind::Pipe, "|", 1);
+            continue;
+          case '!':
+            c1 == '=' ? push(TokenKind::Ne, "!=", 2)
+                      : push(TokenKind::Bang, "!", 1);
+            continue;
+          case '=':
+            c1 == '=' ? push(TokenKind::Eq, "==", 2)
+                      : push(TokenKind::Assign, "=", 1);
+            continue;
+          case '<':
+            if (c1 == '<') push(TokenKind::Shl, "<<", 2);
+            else if (c1 == '=') push(TokenKind::Le, "<=", 2);
+            else push(TokenKind::Lt, "<", 1);
+            continue;
+          case '>':
+            if (c1 == '>') push(TokenKind::Shr, ">>", 2);
+            else if (c1 == '=') push(TokenKind::Ge, ">=", 2);
+            else push(TokenKind::Gt, ">", 1);
+            continue;
+          default:
+            fatal(concat("line ", line, ": unexpected character '", c,
+                         "'"));
+        }
+    }
+
+    Token end;
+    end.kind = TokenKind::End;
+    end.line = line;
+    tokens.push_back(end);
+    return tokens;
+}
+
+} // namespace chf

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Lexer for TinyC, the small C-like input language of the CHF compiler.
+ *
+ * TinyC has 64-bit integer scalars and arrays, functions (inlined during
+ * lowering), and the usual C control flow and operators. It stands in
+ * for the C front end of the Scale compiler.
+ */
+
+#ifndef CHF_FRONTEND_LEXER_H
+#define CHF_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chf {
+
+/** Token kinds. Punctuation uses its spelling, one kind per symbol. */
+enum class TokenKind : uint8_t
+{
+    End,
+    IntLit,
+    Ident,
+    // Keywords
+    KwInt, KwIf, KwElse, KwWhile, KwFor, KwDo, KwReturn, KwBreak,
+    KwContinue,
+    // Punctuation
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semicolon, Comma, Question, Colon,
+    // Operators
+    Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+    PercentAssign,
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Shl, Shr,
+    AmpAmp, PipePipe, Bang,
+    Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+/** One lexed token. */
+struct Token
+{
+    TokenKind kind = TokenKind::End;
+    std::string text;
+    int64_t intValue = 0;
+    int line = 0;
+};
+
+/** Spelling of a token kind for diagnostics. */
+const char *tokenKindName(TokenKind kind);
+
+/**
+ * Lex @p source into tokens. Comments (// and C-style) and whitespace
+ * are skipped. Calls fatal() on malformed input with a line number.
+ */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace chf
+
+#endif // CHF_FRONTEND_LEXER_H

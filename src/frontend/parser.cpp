@@ -1,0 +1,500 @@
+#include "frontend/parser.h"
+
+#include "frontend/lexer.h"
+#include "support/fatal.h"
+
+namespace chf {
+
+namespace {
+
+/** Binding power for binary operators, higher binds tighter. */
+int
+binaryPrecedence(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::PipePipe: return 1;
+      case TokenKind::AmpAmp: return 2;
+      case TokenKind::Pipe: return 3;
+      case TokenKind::Caret: return 4;
+      case TokenKind::Amp: return 5;
+      case TokenKind::Eq:
+      case TokenKind::Ne: return 6;
+      case TokenKind::Lt:
+      case TokenKind::Le:
+      case TokenKind::Gt:
+      case TokenKind::Ge: return 7;
+      case TokenKind::Shl:
+      case TokenKind::Shr: return 8;
+      case TokenKind::Plus:
+      case TokenKind::Minus: return 9;
+      case TokenKind::Star:
+      case TokenKind::Slash:
+      case TokenKind::Percent: return 10;
+      default: return 0;
+    }
+}
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &source) : tokens(lex(source)) {}
+
+    TranslationUnit
+    parseUnit()
+    {
+        TranslationUnit unit;
+        while (!at(TokenKind::End)) {
+            expect(TokenKind::KwInt, "declaration");
+            Token name = expect(TokenKind::Ident, "declaration name");
+            if (at(TokenKind::LParen)) {
+                unit.functions.push_back(parseFunctionRest(name));
+            } else {
+                unit.globals.push_back(parseGlobalRest(name));
+            }
+        }
+        return unit;
+    }
+
+  private:
+    const Token &peek(size_t k = 0) const
+    {
+        size_t i = pos + k;
+        return i < tokens.size() ? tokens[i] : tokens.back();
+    }
+
+    bool at(TokenKind kind) const { return peek().kind == kind; }
+
+    Token
+    advance()
+    {
+        Token tok = peek();
+        if (pos < tokens.size() - 1)
+            ++pos;
+        return tok;
+    }
+
+    bool
+    accept(TokenKind kind)
+    {
+        if (at(kind)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    Token
+    expect(TokenKind kind, const char *context)
+    {
+        if (!at(kind)) {
+            fatal(concat("line ", peek().line, ": expected ",
+                         tokenKindName(kind), " in ", context,
+                         ", found ", tokenKindName(peek().kind)));
+        }
+        return advance();
+    }
+
+    [[noreturn]] void
+    errorHere(const std::string &what)
+    {
+        fatal(concat("line ", peek().line, ": ", what));
+    }
+
+    GlobalDecl
+    parseGlobalRest(const Token &name)
+    {
+        GlobalDecl decl;
+        decl.name = name.text;
+        decl.line = name.line;
+        if (accept(TokenKind::LBracket)) {
+            Token size = expect(TokenKind::IntLit, "array size");
+            decl.arraySize = size.intValue;
+            expect(TokenKind::RBracket, "array declaration");
+        }
+        if (accept(TokenKind::Assign)) {
+            if (accept(TokenKind::LBrace)) {
+                if (!at(TokenKind::RBrace)) {
+                    do {
+                        decl.init.push_back(parseSignedLiteral());
+                    } while (accept(TokenKind::Comma));
+                }
+                expect(TokenKind::RBrace, "array initializer");
+            } else {
+                decl.init.push_back(parseSignedLiteral());
+            }
+        }
+        expect(TokenKind::Semicolon, "global declaration");
+        return decl;
+    }
+
+    int64_t
+    parseSignedLiteral()
+    {
+        bool negative = accept(TokenKind::Minus);
+        Token lit = expect(TokenKind::IntLit, "initializer");
+        return negative ? -lit.intValue : lit.intValue;
+    }
+
+    FuncDecl
+    parseFunctionRest(const Token &name)
+    {
+        FuncDecl fn;
+        fn.name = name.text;
+        fn.line = name.line;
+        expect(TokenKind::LParen, "parameter list");
+        if (!at(TokenKind::RParen)) {
+            do {
+                expect(TokenKind::KwInt, "parameter");
+                Token param = expect(TokenKind::Ident, "parameter name");
+                fn.params.push_back(param.text);
+            } while (accept(TokenKind::Comma));
+        }
+        expect(TokenKind::RParen, "parameter list");
+        fn.body = parseBlock();
+        return fn;
+    }
+
+    std::unique_ptr<Stmt>
+    makeStmt(Stmt::Kind kind)
+    {
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = kind;
+        stmt->line = peek().line;
+        return stmt;
+    }
+
+    std::unique_ptr<Stmt>
+    parseBlock()
+    {
+        auto block = makeStmt(Stmt::Kind::Block);
+        expect(TokenKind::LBrace, "block");
+        while (!at(TokenKind::RBrace)) {
+            if (at(TokenKind::End))
+                errorHere("unterminated block");
+            block->stmts.push_back(parseStmt());
+        }
+        expect(TokenKind::RBrace, "block");
+        return block;
+    }
+
+    std::unique_ptr<Stmt>
+    parseStmt()
+    {
+        switch (peek().kind) {
+          case TokenKind::LBrace:
+            return parseBlock();
+          case TokenKind::KwInt:
+            return parseLocalDecl();
+          case TokenKind::KwIf:
+            return parseIf();
+          case TokenKind::KwWhile:
+            return parseWhile();
+          case TokenKind::KwDo:
+            return parseDoWhile();
+          case TokenKind::KwFor:
+            return parseFor();
+          case TokenKind::KwReturn: {
+            auto stmt = makeStmt(Stmt::Kind::Return);
+            advance();
+            if (!at(TokenKind::Semicolon))
+                stmt->value = parseExpr();
+            expect(TokenKind::Semicolon, "return");
+            return stmt;
+          }
+          case TokenKind::KwBreak: {
+            auto stmt = makeStmt(Stmt::Kind::Break);
+            advance();
+            expect(TokenKind::Semicolon, "break");
+            return stmt;
+          }
+          case TokenKind::KwContinue: {
+            auto stmt = makeStmt(Stmt::Kind::Continue);
+            advance();
+            expect(TokenKind::Semicolon, "continue");
+            return stmt;
+          }
+          default: {
+            auto stmt = parseSimple();
+            expect(TokenKind::Semicolon, "statement");
+            return stmt;
+          }
+        }
+    }
+
+    std::unique_ptr<Stmt>
+    parseLocalDecl()
+    {
+        auto stmt = makeStmt(Stmt::Kind::LocalDecl);
+        expect(TokenKind::KwInt, "local declaration");
+        Token name = expect(TokenKind::Ident, "local name");
+        stmt->name = name.text;
+        if (accept(TokenKind::Assign))
+            stmt->value = parseExpr();
+        expect(TokenKind::Semicolon, "local declaration");
+        return stmt;
+    }
+
+    std::unique_ptr<Stmt>
+    parseIf()
+    {
+        auto stmt = makeStmt(Stmt::Kind::If);
+        expect(TokenKind::KwIf, "if");
+        expect(TokenKind::LParen, "if condition");
+        stmt->cond = parseExpr();
+        expect(TokenKind::RParen, "if condition");
+        stmt->thenStmt = parseStmt();
+        if (accept(TokenKind::KwElse))
+            stmt->elseStmt = parseStmt();
+        return stmt;
+    }
+
+    std::unique_ptr<Stmt>
+    parseWhile()
+    {
+        auto stmt = makeStmt(Stmt::Kind::While);
+        expect(TokenKind::KwWhile, "while");
+        expect(TokenKind::LParen, "while condition");
+        stmt->cond = parseExpr();
+        expect(TokenKind::RParen, "while condition");
+        stmt->body = parseStmt();
+        return stmt;
+    }
+
+    std::unique_ptr<Stmt>
+    parseDoWhile()
+    {
+        auto stmt = makeStmt(Stmt::Kind::DoWhile);
+        expect(TokenKind::KwDo, "do");
+        stmt->body = parseStmt();
+        expect(TokenKind::KwWhile, "do-while");
+        expect(TokenKind::LParen, "do-while condition");
+        stmt->cond = parseExpr();
+        expect(TokenKind::RParen, "do-while condition");
+        expect(TokenKind::Semicolon, "do-while");
+        return stmt;
+    }
+
+    std::unique_ptr<Stmt>
+    parseFor()
+    {
+        auto stmt = makeStmt(Stmt::Kind::For);
+        expect(TokenKind::KwFor, "for");
+        expect(TokenKind::LParen, "for header");
+        if (!at(TokenKind::Semicolon)) {
+            if (at(TokenKind::KwInt))
+                stmt->init = parseLocalDeclNoSemicolon();
+            else
+                stmt->init = parseSimple();
+        }
+        expect(TokenKind::Semicolon, "for header");
+        if (!at(TokenKind::Semicolon))
+            stmt->cond = parseExpr();
+        expect(TokenKind::Semicolon, "for header");
+        if (!at(TokenKind::RParen))
+            stmt->step = parseSimple();
+        expect(TokenKind::RParen, "for header");
+        stmt->body = parseStmt();
+        return stmt;
+    }
+
+    std::unique_ptr<Stmt>
+    parseLocalDeclNoSemicolon()
+    {
+        auto stmt = makeStmt(Stmt::Kind::LocalDecl);
+        expect(TokenKind::KwInt, "local declaration");
+        Token name = expect(TokenKind::Ident, "local name");
+        stmt->name = name.text;
+        if (accept(TokenKind::Assign))
+            stmt->value = parseExpr();
+        return stmt;
+    }
+
+    /** Assignment or bare expression (no trailing semicolon). */
+    std::unique_ptr<Stmt>
+    parseSimple()
+    {
+        // Lookahead: ident ( "=" | "+=" ... | "[" expr "]" assignop ).
+        if (at(TokenKind::Ident)) {
+            TokenKind k1 = peek(1).kind;
+            if (isAssignOp(k1))
+                return parseAssign(false);
+            if (k1 == TokenKind::LBracket) {
+                // Scan for the matching bracket to see if an assignment
+                // operator follows; otherwise it's an expression.
+                size_t j = pos + 2;
+                int depth = 1;
+                while (j < tokens.size() && depth > 0) {
+                    if (tokens[j].kind == TokenKind::LBracket)
+                        ++depth;
+                    if (tokens[j].kind == TokenKind::RBracket)
+                        --depth;
+                    ++j;
+                }
+                if (j < tokens.size() && isAssignOp(tokens[j].kind))
+                    return parseAssign(true);
+            }
+        }
+        auto stmt = makeStmt(Stmt::Kind::ExprStmt);
+        stmt->value = parseExpr();
+        return stmt;
+    }
+
+    static bool
+    isAssignOp(TokenKind kind)
+    {
+        switch (kind) {
+          case TokenKind::Assign:
+          case TokenKind::PlusAssign:
+          case TokenKind::MinusAssign:
+          case TokenKind::StarAssign:
+          case TokenKind::SlashAssign:
+          case TokenKind::PercentAssign:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    std::unique_ptr<Stmt>
+    parseAssign(bool indexed)
+    {
+        auto stmt = makeStmt(Stmt::Kind::Assign);
+        Token name = expect(TokenKind::Ident, "assignment");
+        stmt->name = name.text;
+        if (indexed) {
+            expect(TokenKind::LBracket, "array assignment");
+            stmt->index = parseExpr();
+            expect(TokenKind::RBracket, "array assignment");
+        }
+        Token op = advance();
+        if (!isAssignOp(op.kind))
+            errorHere("expected assignment operator");
+        stmt->op = op.text;
+        stmt->value = parseExpr();
+        return stmt;
+    }
+
+    std::unique_ptr<Expr>
+    makeExpr(Expr::Kind kind)
+    {
+        auto expr = std::make_unique<Expr>();
+        expr->kind = kind;
+        expr->line = peek().line;
+        return expr;
+    }
+
+    std::unique_ptr<Expr>
+    parseExpr()
+    {
+        // Conditional expression: right-associative, binds looser than
+        // every binary operator.
+        auto cond = parseBinary(1);
+        if (!accept(TokenKind::Question))
+            return cond;
+        auto node = std::make_unique<Expr>();
+        node->kind = Expr::Kind::Ternary;
+        node->line = peek().line;
+        node->args.push_back(std::move(cond));
+        node->args.push_back(parseExpr());
+        expect(TokenKind::Colon, "conditional expression");
+        node->args.push_back(parseExpr());
+        return node;
+    }
+
+    std::unique_ptr<Expr>
+    parseBinary(int min_prec)
+    {
+        auto lhs = parseUnary();
+        while (true) {
+            int prec = binaryPrecedence(peek().kind);
+            if (prec < min_prec || prec == 0)
+                return lhs;
+            Token op = advance();
+            auto rhs = parseBinary(prec + 1);
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Binary;
+            node->line = op.line;
+            node->op = op.text;
+            node->lhs = std::move(lhs);
+            node->rhs = std::move(rhs);
+            lhs = std::move(node);
+        }
+    }
+
+    std::unique_ptr<Expr>
+    parseUnary()
+    {
+        if (at(TokenKind::Minus) || at(TokenKind::Bang) ||
+            at(TokenKind::Tilde)) {
+            Token op = advance();
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Unary;
+            node->line = op.line;
+            node->op = op.text;
+            node->lhs = parseUnary();
+            return node;
+        }
+        return parsePrimary();
+    }
+
+    std::unique_ptr<Expr>
+    parsePrimary()
+    {
+        if (at(TokenKind::IntLit)) {
+            auto node = makeExpr(Expr::Kind::IntLit);
+            node->intValue = advance().intValue;
+            return node;
+        }
+        if (accept(TokenKind::LParen)) {
+            auto inner = parseExpr();
+            expect(TokenKind::RParen, "parenthesized expression");
+            return inner;
+        }
+        if (at(TokenKind::Ident)) {
+            Token name = advance();
+            if (accept(TokenKind::LParen)) {
+                auto node = std::make_unique<Expr>();
+                node->kind = Expr::Kind::Call;
+                node->line = name.line;
+                node->name = name.text;
+                if (!at(TokenKind::RParen)) {
+                    do {
+                        node->args.push_back(parseExpr());
+                    } while (accept(TokenKind::Comma));
+                }
+                expect(TokenKind::RParen, "call");
+                return node;
+            }
+            if (accept(TokenKind::LBracket)) {
+                auto node = std::make_unique<Expr>();
+                node->kind = Expr::Kind::Index;
+                node->line = name.line;
+                node->name = name.text;
+                node->lhs = parseExpr();
+                expect(TokenKind::RBracket, "array index");
+                return node;
+            }
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Var;
+            node->line = name.line;
+            node->name = name.text;
+            return node;
+        }
+        errorHere(concat("unexpected ", tokenKindName(peek().kind),
+                         " in expression"));
+    }
+
+    std::vector<Token> tokens;
+    size_t pos = 0;
+};
+
+} // namespace
+
+TranslationUnit
+parseTinyC(const std::string &source)
+{
+    Parser parser(source);
+    return parser.parseUnit();
+}
+
+} // namespace chf

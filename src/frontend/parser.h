@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Recursive-descent parser for TinyC.
+ *
+ * Grammar (informal):
+ *   unit      := (global | function)*
+ *   global    := "int" ident ("[" intlit "]")? ("=" init)? ";"
+ *   init      := intlit | "{" intlit ("," intlit)* "}"
+ *   function  := "int" ident "(" params ")" block
+ *   params    := ("int" ident ("," "int" ident)*)?
+ *   block     := "{" stmt* "}"
+ *   stmt      := block | localdecl | if | while | for | return
+ *              | "break" ";" | "continue" ";" | simple ";"
+ *   simple    := lvalue assignop expr | expr
+ *   expr      := precedence-climbing over || && | ^ & == != relational
+ *                << >> + - * / % with C precedence; unary - ! ~
+ */
+
+#ifndef CHF_FRONTEND_PARSER_H
+#define CHF_FRONTEND_PARSER_H
+
+#include <string>
+
+#include "frontend/ast.h"
+
+namespace chf {
+
+/** Parse TinyC source; calls fatal() with a line number on error. */
+TranslationUnit parseTinyC(const std::string &source);
+
+} // namespace chf
+
+#endif // CHF_FRONTEND_PARSER_H

@@ -1,0 +1,125 @@
+#include "hyperblock/constraints.h"
+
+#include <map>
+
+#include "analysis/liveness.h"
+#include "support/fatal.h"
+#include "transform/normalize_outputs.h"
+
+namespace chf {
+
+BlockResources
+analyzeBlock(const Function &fn, const BasicBlock &bb,
+             const BitVector &live_out, const TripsConstraints &constraints)
+{
+    BlockResources res;
+    res.insts = bb.size();
+    res.memOps = bb.memoryOpCount();
+
+    uint32_t nv = fn.numVregs();
+
+    // Distinct upward-exposed reads (register file reads).
+    BitVector uses = blockUses(bb, nv);
+    res.regReads = uses.count();
+    uses.forEach([&](uint32_t v) {
+        res.bankReads[v % constraints.numRegBanks]++;
+    });
+
+    // Distinct written live-out registers (register file writes).
+    BitVector defs = blockDefs(bb, nv);
+    defs.intersectWith(live_out);
+    res.regWrites = defs.count();
+    defs.forEach([&](uint32_t v) {
+        res.bankWrites[v % constraints.numRegBanks]++;
+    });
+
+    // Fanout prediction: a producer can name two consumers; each extra
+    // consumer costs one mov in the fanout tree (Fig. 6's fanout
+    // insertion). Count in-block consumers per def until redefinition.
+    {
+        std::map<Vreg, size_t> consumers;
+        auto flush = [&](Vreg v) {
+            auto it = consumers.find(v);
+            if (it != consumers.end()) {
+                if (it->second > 2)
+                    res.fanoutMoves += it->second - 2;
+                consumers.erase(it);
+            }
+        };
+        for (const auto &inst : bb.insts) {
+            inst.forEachUse([&](Vreg v) { consumers[v] += 1; });
+            if (inst.hasDest()) {
+                flush(inst.dest);
+                consumers[inst.dest] = 0;
+            }
+        }
+        for (const auto &[v, count] : consumers) {
+            if (count > 2)
+                res.fanoutMoves += count - 2;
+        }
+    }
+
+    // Null-write prediction: run the real normalization on a scratch
+    // copy so the estimate cannot drift from the pass.
+    {
+        BasicBlock scratch(bb.id(), bb.name());
+        scratch.insts = bb.insts;
+        // The pass needs fresh vregs; use a throwaway function clone of
+        // the register counter only.
+        Function counter("scratch");
+        while (counter.numVregs() < fn.numVregs())
+            counter.newVreg();
+        res.nullWrites = normalizeOutputs(counter, scratch, live_out);
+    }
+
+    return res;
+}
+
+std::string
+checkBlockLegal(const BlockResources &res,
+                const TripsConstraints &constraints, size_t headroom,
+                bool check_banks)
+{
+    if (res.estimatedInsts() + headroom > constraints.maxInsts) {
+        return concat("estimated ", res.estimatedInsts(), "+", headroom,
+                      " insts exceeds ", constraints.maxInsts);
+    }
+    if (res.memOps > constraints.maxMemOps) {
+        return concat(res.memOps, " memory ops exceed ",
+                      constraints.maxMemOps);
+    }
+    if (res.regReads > constraints.maxRegReads()) {
+        return concat(res.regReads, " register reads exceed ",
+                      constraints.maxRegReads());
+    }
+    if (res.regWrites > constraints.maxRegWrites()) {
+        return concat(res.regWrites, " register writes exceed ",
+                      constraints.maxRegWrites());
+    }
+    if (check_banks) {
+        for (size_t b = 0; b < constraints.numRegBanks; ++b) {
+            if (res.bankReads[b] > constraints.maxReadsPerBank) {
+                return concat("bank ", b, " has ", res.bankReads[b],
+                              " reads (max ",
+                              constraints.maxReadsPerBank, ")");
+            }
+            if (res.bankWrites[b] > constraints.maxWritesPerBank) {
+                return concat("bank ", b, " has ", res.bankWrites[b],
+                              " writes (max ",
+                              constraints.maxWritesPerBank, ")");
+            }
+        }
+    }
+    return "";
+}
+
+std::string
+checkBlockLegal(const Function &fn, const BasicBlock &bb,
+                const BitVector &live_out,
+                const TripsConstraints &constraints, size_t headroom)
+{
+    return checkBlockLegal(analyzeBlock(fn, bb, live_out, constraints),
+                           constraints, headroom);
+}
+
+} // namespace chf

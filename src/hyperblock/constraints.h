@@ -1,0 +1,100 @@
+/**
+ * @file
+ * TRIPS structural block constraints and the block size estimator.
+ *
+ * The TRIPS ISA restricts each block to (1) at most 128 instructions,
+ * (2) at most 32 load/store identifiers, (3) at most 8 reads and 8
+ * writes per each of 4 register banks, and (4) a constant number of
+ * outputs (paper §2). Because register reads/writes, null-write
+ * compensation, and fanout moves are inserted by later phases (Fig. 6),
+ * hyperblock formation must *estimate* the final size of a candidate
+ * block; this header provides both the constraint set and the
+ * estimator.
+ */
+
+#ifndef CHF_HYPERBLOCK_CONSTRAINTS_H
+#define CHF_HYPERBLOCK_CONSTRAINTS_H
+
+#include <array>
+#include <string>
+
+#include "ir/function.h"
+#include "support/bitvector.h"
+
+namespace chf {
+
+/** Architectural limits of a TRIPS-like EDGE target. */
+struct TripsConstraints
+{
+    size_t maxInsts = 128;          ///< regular instructions per block
+    size_t maxMemOps = 32;          ///< static load/store ids
+    size_t numRegBanks = 4;
+    size_t maxReadsPerBank = 8;
+    size_t maxWritesPerBank = 8;
+
+    size_t
+    maxRegReads() const
+    {
+        return numRegBanks * maxReadsPerBank;
+    }
+
+    size_t
+    maxRegWrites() const
+    {
+        return numRegBanks * maxWritesPerBank;
+    }
+};
+
+/** Measured/estimated resource usage of one block. */
+struct BlockResources
+{
+    size_t insts = 0;        ///< current instruction count
+    size_t fanoutMoves = 0;  ///< predicted fanout tree moves
+    size_t nullWrites = 0;   ///< predicted output-normalization insts
+    size_t memOps = 0;       ///< static loads + stores
+    size_t regReads = 0;     ///< distinct upward-exposed registers
+    size_t regWrites = 0;    ///< distinct live-out written registers
+    std::array<size_t, 8> bankReads{};   ///< per-bank read counts
+    std::array<size_t, 8> bankWrites{};  ///< per-bank write counts
+
+    /** Predicted instruction count after all later phases. */
+    size_t
+    estimatedInsts() const
+    {
+        return insts + fanoutMoves + nullWrites;
+    }
+};
+
+/**
+ * Analyze @p bb: count memory ops, distinct register reads/writes with
+ * bank assignments (pre-allocation proxy: vreg modulo bank count), and
+ * predict the fanout moves and null writes later phases will add.
+ */
+BlockResources analyzeBlock(const Function &fn, const BasicBlock &bb,
+                            const BitVector &live_out,
+                            const TripsConstraints &constraints);
+
+/**
+ * Check @p res against @p constraints with @p headroom instructions
+ * reserved for spill code. Returns an empty string when legal, else a
+ * human-readable reason.
+ *
+ * Before register allocation banks are unknown (the allocator balances
+ * them), so formation checks total reads/writes only; pass
+ * @p check_banks = true for post-allocation validation where the bank
+ * counts reflect physical registers.
+ */
+std::string checkBlockLegal(const BlockResources &res,
+                            const TripsConstraints &constraints,
+                            size_t headroom = 0,
+                            bool check_banks = false);
+
+/** Convenience: analyze + check. */
+std::string checkBlockLegal(const Function &fn, const BasicBlock &bb,
+                            const BitVector &live_out,
+                            const TripsConstraints &constraints,
+                            size_t headroom = 0);
+
+} // namespace chf
+
+#endif // CHF_HYPERBLOCK_CONSTRAINTS_H

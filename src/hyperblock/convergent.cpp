@@ -1,0 +1,136 @@
+#include "hyperblock/convergent.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/loops.h"
+#include "transform/cfg_utils.h"
+
+namespace chf {
+
+namespace {
+
+/** Build candidate descriptors for the current successors of @p hb. */
+std::vector<MergeCandidate>
+describeCandidates(Function &fn, BlockId hb,
+                   const std::vector<std::pair<BlockId, int>> &pending)
+{
+    LoopInfo loops(fn);
+    PredecessorMap preds = fn.predecessors();
+    const BasicBlock *hb_block = fn.block(hb);
+
+    std::vector<MergeCandidate> out;
+    for (const auto &[block, order] : pending) {
+        if (!fn.block(block))
+            continue;
+        MergeCandidate c;
+        c.block = block;
+        c.discoveryOrder = order;
+        c.entryFreq = branchFreqTo(*hb_block, block);
+        c.needsDup = !(preds[block].size() == 1 &&
+                       preds[block][0] == hb) ||
+                     loops.isBackEdge(hb, block);
+        c.isLoopHeader = loops.isLoopHeader(block);
+        c.isBackEdge = loops.isBackEdge(hb, block);
+        c.blockSize = fn.block(block)->size();
+        c.candFreq = fn.block(block)->frequency();
+        c.hbFreq = hb_block->frequency();
+        const Loop *hb_loop = loops.innermostContaining(hb);
+        c.leavesLoop = hb_loop != nullptr && block != hb &&
+                       !hb_loop->contains(block);
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+size_t
+expandBlock(MergeEngine &engine, Policy &policy, BlockId seed,
+            size_t max_merges)
+{
+    Function &fn = engine.function();
+    if (!fn.block(seed))
+        return 0;
+
+    policy.beginBlock(fn, seed);
+
+    // Pending candidates: (block, discovery order). Duplicates are
+    // avoided; failed candidates are dropped but may be rediscovered
+    // after a later successful merge, as in the paper's pseudocode
+    // (candidates := candidates U Successors(S)).
+    std::vector<std::pair<BlockId, int>> pending;
+    int discovery = 0;
+
+    auto add_successors = [&]() {
+        for (BlockId succ : fn.block(seed)->successors()) {
+            bool already = false;
+            for (const auto &[b, o] : pending) {
+                if (b == succ)
+                    already = true;
+            }
+            if (!already)
+                pending.emplace_back(succ, discovery++);
+        }
+    };
+    add_successors();
+
+    size_t merges = 0;
+    while (!pending.empty() && merges < max_merges) {
+        std::vector<MergeCandidate> candidates =
+            describeCandidates(fn, seed, pending);
+        if (candidates.empty())
+            break;
+
+        int pick = policy.select(fn, seed, candidates);
+        if (pick < 0)
+            break;
+
+        BlockId chosen = candidates[pick].block;
+        pending.erase(std::find_if(pending.begin(), pending.end(),
+                                   [&](const auto &p) {
+                                       return p.first == chosen;
+                                   }));
+
+        MergeOutcome outcome = engine.tryMerge(seed, chosen);
+        // Set CHF_TRACE_MERGES=1 to watch expansion decisions.
+        if (std::getenv("CHF_TRACE_MERGES")) {
+            std::fprintf(stderr,
+                         "expand bb%u <- bb%u (freq %.0f/%.0f): %s%s\n",
+                         seed, chosen, candidates[pick].entryFreq,
+                         candidates[pick].candFreq,
+                         outcome.success ? mergeKindName(outcome.kind)
+                                         : "FAIL ",
+                         outcome.success ? "" : outcome.reason.c_str());
+        }
+        if (outcome.success) {
+            ++merges;
+            add_successors();
+        }
+    }
+    return merges;
+}
+
+FormationResult
+formHyperblocks(Function &fn, Policy &policy,
+                const FormationOptions &options)
+{
+    MergeEngine engine(fn, options.merge);
+
+    // Expand seeds in reverse post-order; blocks merged away are
+    // skipped (their id slots become null).
+    std::vector<BlockId> seeds = fn.reversePostOrder();
+    for (BlockId seed : seeds) {
+        if (fn.block(seed))
+            expandBlock(engine, policy, seed, options.maxMergesPerBlock);
+    }
+
+    fn.removeUnreachable();
+
+    FormationResult result;
+    result.stats = engine.stats();
+    return result;
+}
+
+} // namespace chf

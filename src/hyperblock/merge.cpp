@@ -1,0 +1,215 @@
+#include "hyperblock/merge.h"
+
+#include "analysis/liveness.h"
+#include "analysis/loops.h"
+#include "support/fatal.h"
+#include "transform/cfg_utils.h"
+#include "transform/if_convert.h"
+#include "transform/optimize.h"
+#include "transform/reverse_if_convert.h"
+
+namespace chf {
+
+const char *
+mergeKindName(MergeKind kind)
+{
+    switch (kind) {
+      case MergeKind::Simple: return "simple";
+      case MergeKind::TailDup: return "tail-dup";
+      case MergeKind::Peel: return "peel";
+      case MergeKind::Unroll: return "unroll";
+    }
+    return "?";
+}
+
+MergeEngine::MergeEngine(Function &fn, const MergeOptions &options)
+    : fn(fn), opts(options)
+{
+}
+
+MergeKind
+MergeEngine::classify(BlockId hb, BlockId s) const
+{
+    if (hb == s)
+        return MergeKind::Unroll;
+
+    LoopInfo loops(fn);
+    PredecessorMap preds = fn.predecessors();
+
+    bool back_edge = loops.isBackEdge(hb, s);
+    bool header = loops.isLoopHeader(s);
+
+    if (preds[s].size() == 1 && preds[s][0] == hb && !back_edge)
+        return MergeKind::Simple;
+    if (header && !back_edge)
+        return MergeKind::Peel;
+    // Per Fig. 5: the back-edge-to-another-header case falls through to
+    // tail duplication.
+    return MergeKind::TailDup;
+}
+
+bool
+MergeEngine::legalMerge(BlockId hb, BlockId s, std::string *why)
+{
+    auto fail = [&](const std::string &reason) {
+        if (why)
+            *why = reason;
+        return false;
+    };
+
+    if (hb >= fn.blockTableSize() || !fn.block(hb))
+        return fail("hyperblock does not exist");
+    if (s >= fn.blockTableSize() || !fn.block(s))
+        return fail("successor does not exist");
+    if (s == fn.entry())
+        return fail("cannot duplicate the entry block");
+    if (branchesTo(*fn.block(hb), s).empty())
+        return fail("not a successor");
+
+    MergeKind kind = classify(hb, s);
+    if (!opts.enableHeadDuplication) {
+        if (kind == MergeKind::Peel || kind == MergeKind::Unroll)
+            return fail("head duplication disabled");
+        // Without head duplication the classical algorithm keeps loop
+        // headers as hyperblock seeds rather than growing into them.
+        LoopInfo loops(fn);
+        if (loops.isLoopHeader(s))
+            return fail("loop header (head duplication disabled)");
+    }
+    return true;
+}
+
+MergeOutcome
+MergeEngine::tryMerge(BlockId hb, BlockId s)
+{
+    MergeOutcome outcome;
+    std::string why;
+    if (!legalMerge(hb, s, &why)) {
+        outcome.reason = why;
+        return outcome;
+    }
+
+    BasicBlock *hb_block = fn.block(hb);
+    BasicBlock *s_block = fn.block(s);
+    MergeKind kind = classify(hb, s);
+
+    // Choose the source for the appended code: for unrolling, the
+    // pristine saved body (first unroll saves it); otherwise S itself.
+    const BasicBlock *source = s_block;
+    if (kind == MergeKind::Unroll) {
+        auto it = pristineBodies.find(hb);
+        if (it != pristineBodies.end()) {
+            // The pristine body can reference blocks that were since
+            // simple-merged away; if so it is stale -- drop it and fall
+            // back to the current body (coarser, power-of-two-style
+            // unrolling, the limitation the pristine copy normally
+            // avoids).
+            bool stale = false;
+            for (BlockId succ : it->second->successors()) {
+                if (succ >= fn.blockTableSize() || !fn.block(succ))
+                    stale = true;
+            }
+            if (stale)
+                pristineBodies.erase(it);
+            else
+                source = it->second.get();
+        }
+    }
+
+    double share = kind == MergeKind::Simple
+                       ? 1.0
+                       : entryShare(*hb_block, *source);
+
+    // --- Scratch-space combine (Copy / Combine / Optimize) ---
+    BasicBlock scratch(hb_block->id(), hb_block->name());
+    scratch.insts = hb_block->insts;
+    BasicBlock source_copy(source->id(), source->name());
+    source_copy.insts = source->insts;
+
+    if (!combineBlocks(fn, scratch, source_copy, share)) {
+        outcome.reason = "no branch to successor";
+        return outcome;
+    }
+
+    // Live-out of the merged block: union of the live-ins of its
+    // targets, plus its own upward-exposed uses if it loops back to
+    // itself (the next iteration's reads).
+    Liveness liveness(fn);
+    BitVector live_out(fn.numVregs());
+    bool self_loop = false;
+    for (BlockId succ : scratch.successors()) {
+        if (succ == hb) {
+            self_loop = true;
+            continue;
+        }
+        live_out.unionWith(liveness.liveIn(succ));
+    }
+    if (self_loop) {
+        live_out.unionWith(blockUses(scratch, fn.numVregs()));
+        live_out.unionWith(liveness.liveIn(hb));
+    }
+
+    if (opts.optimizeDuringMerge)
+        optimizeBlock(fn, scratch, live_out);
+
+    // --- LegalBlock: structural constraints on the result ---
+    std::string illegal = checkBlockLegal(fn, scratch, live_out,
+                                          opts.constraints,
+                                          opts.sizeHeadroom);
+    if (!illegal.empty()) {
+        // Basic-block splitting (paper §9): a too-large
+        // single-predecessor candidate can donate its first piece.
+        if (opts.enableBlockSplitting && kind == MergeKind::Simple &&
+            illegal.find("insts exceeds") != std::string::npos &&
+            s_block->size() >= 16 && hb_block->size() + 8 <
+                opts.constraints.maxInsts) {
+            size_t room = opts.constraints.maxInsts -
+                          opts.sizeHeadroom - hb_block->size();
+            size_t piece = std::min(room / 2, s_block->size() / 2);
+            BlockId rest = splitBlockAt(fn, s, piece);
+            if (rest != kNoBlock) {
+                counters.add("blocksSplitForMerge");
+                // Retry: S is now its small first piece.
+                MergeOutcome retried = tryMerge(hb, s);
+                if (retried.success)
+                    return retried;
+            }
+        }
+        outcome.reason = illegal;
+        return outcome;
+    }
+
+    // --- Commit: transform the CFG ---
+    if (kind == MergeKind::Unroll && !pristineBodies.count(hb)) {
+        auto pristine = std::make_unique<BasicBlock>(hb_block->id(),
+                                                     hb_block->name());
+        pristine->insts = hb_block->insts;
+        pristineBodies[hb] = std::move(pristine);
+    }
+
+    hb_block->insts = std::move(scratch.insts);
+
+    switch (kind) {
+      case MergeKind::Simple:
+        fn.removeBlock(s);
+        break;
+      case MergeKind::TailDup:
+        scaleBranchFreqs(*s_block, 1.0 - share);
+        counters.add("tailDuplicated");
+        break;
+      case MergeKind::Peel:
+        scaleBranchFreqs(*s_block, 1.0 - share);
+        counters.add("peeledIterations");
+        break;
+      case MergeKind::Unroll:
+        counters.add("unrolledIterations");
+        break;
+    }
+    counters.add("blocksMerged");
+
+    outcome.success = true;
+    outcome.kind = kind;
+    return outcome;
+}
+
+} // namespace chf

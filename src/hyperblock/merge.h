@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The MergeBlocks procedure of convergent hyperblock formation (paper
+ * Fig. 5, lines 1-17).
+ *
+ * A merge is tested in scratch space: HB and S are copied, combined via
+ * incremental if-conversion, optionally optimized, and checked against
+ * the structural constraints; only then is the CFG transformed. On
+ * success the engine classifies the merge:
+ *
+ *  - Simple:   S had one predecessor; S is removed outright.
+ *  - TailDup:  S had side entrances; S stays for the other paths
+ *              (classical tail duplication, Fig. 2).
+ *  - Peel:     S is a loop header entered from outside the loop; the
+ *              merged copy is a peeled iteration (head duplication,
+ *              Fig. 3).
+ *  - Unroll:   HB -> S is HB's own back edge; the merged copy is an
+ *              unrolled iteration (head duplication, Fig. 4). The
+ *              original loop body is saved on first unroll and appended
+ *              one pristine iteration at a time, so unroll factors are
+ *              not limited to powers of two (paper §4.1).
+ */
+
+#ifndef CHF_HYPERBLOCK_MERGE_H
+#define CHF_HYPERBLOCK_MERGE_H
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "hyperblock/constraints.h"
+#include "support/stats.h"
+
+namespace chf {
+
+/** How a successful merge transformed the CFG. */
+enum class MergeKind { Simple, TailDup, Peel, Unroll };
+
+const char *mergeKindName(MergeKind kind);
+
+/** Knobs of the merge engine. */
+struct MergeOptions
+{
+    TripsConstraints constraints;
+
+    /** Run scalar optimizations on the scratch block (the "O" of
+     *  (IUPO); off reproduces (IUP)O and the plain VLIW heuristic). */
+    bool optimizeDuringMerge = true;
+
+    /** Allow Peel/Unroll merges (head duplication). Off restricts the
+     *  engine to classical if-conversion + tail duplication. */
+    bool enableHeadDuplication = true;
+
+    /** Instructions reserved for later spill code. */
+    size_t sizeHeadroom = 4;
+
+    /**
+     * Basic-block splitting (paper §9): when a single-predecessor
+     * candidate is too large to merge whole, split it and merge its
+     * first piece, improving code density at the cost of a cross-block
+     * value handoff.
+     */
+    bool enableBlockSplitting = false;
+};
+
+/** Outcome of tryMerge. */
+struct MergeOutcome
+{
+    bool success = false;
+    MergeKind kind = MergeKind::Simple;
+    std::string reason; ///< failure reason when !success
+};
+
+/**
+ * Stateful merge engine for one function. Tracks pristine loop bodies
+ * across unrolls and accumulates the m/t/u/p statistics of Table 1
+ * (merges / tail duplications / unrolled / peeled iterations).
+ */
+class MergeEngine
+{
+  public:
+    MergeEngine(Function &fn, const MergeOptions &options);
+
+    /** Try to merge successor @p s into block @p hb. */
+    MergeOutcome tryMerge(BlockId hb, BlockId s);
+
+    /**
+     * Cheap pre-check mirroring the paper's LegalMerge: is @p s a
+     * structurally admissible candidate (ignoring size constraints)?
+     */
+    bool legalMerge(BlockId hb, BlockId s, std::string *why = nullptr);
+
+    const StatSet &stats() const { return counters; }
+    const MergeOptions &options() const { return opts; }
+    Function &function() { return fn; }
+
+  private:
+    /** Classify what committing the merge will do. */
+    MergeKind classify(BlockId hb, BlockId s) const;
+
+    Function &fn;
+    MergeOptions opts;
+    StatSet counters;
+
+    /** Original loop bodies saved at first unroll, by header id. */
+    std::map<BlockId, std::unique_ptr<BasicBlock>> pristineBodies;
+};
+
+} // namespace chf
+
+#endif // CHF_HYPERBLOCK_MERGE_H

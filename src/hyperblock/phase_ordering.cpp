@@ -1,0 +1,283 @@
+#include "hyperblock/phase_ordering.h"
+
+#include <algorithm>
+
+#include "analysis/loops.h"
+#include "backend/fanout.h"
+#include "backend/regalloc.h"
+#include "hyperblock/vliw_policy.h"
+#include "ir/verifier.h"
+#include "sim/functional_sim.h"
+#include "support/fatal.h"
+#include "transform/cfg_utils.h"
+#include "transform/for_loop_unroll.h"
+#include "transform/head_duplicate.h"
+#include "transform/normalize_outputs.h"
+#include "transform/optimize.h"
+#include "transform/reverse_if_convert.h"
+#include "transform/simplify_cfg.h"
+
+namespace chf {
+
+const char *
+pipelineName(Pipeline pipeline)
+{
+    switch (pipeline) {
+      case Pipeline::BB: return "BB";
+      case Pipeline::UPIO: return "UPIO";
+      case Pipeline::IUPO: return "IUPO";
+      case Pipeline::IUP_O: return "(IUP)O";
+      case Pipeline::IUPO_fused: return "(IUPO)";
+    }
+    return "?";
+}
+
+const char *
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::BreadthFirst: return "BF";
+      case PolicyKind::DepthFirst: return "DF";
+      case PolicyKind::Vliw: return "VLIW";
+      case PolicyKind::VliwConvergent: return "ConvVLIW";
+    }
+    return "?";
+}
+
+ProfileData
+prepareProgram(Program &program, const std::vector<int64_t> &args,
+               bool for_loop_unroll)
+{
+    simplifyCfg(program.fn);
+    optimizeFunction(program.fn);
+    simplifyCfg(program.fn);
+    verifyOrDie(program.fn, "frontend cleanup");
+
+    ProfileData profile = profileProgram(program, args);
+
+    if (for_loop_unroll) {
+        size_t unrolled = unrollForLoops(program.fn, profile);
+        if (unrolled > 0) {
+            simplifyCfg(program.fn);
+            optimizeFunction(program.fn);
+            verifyOrDie(program.fn, "for-loop unrolling");
+            profile = profileProgram(program, args);
+        }
+    }
+    return profile;
+}
+
+namespace {
+
+std::unique_ptr<Policy>
+makePolicy(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::BreadthFirst:
+        return std::make_unique<BreadthFirstPolicy>();
+      case PolicyKind::DepthFirst:
+        return std::make_unique<DepthFirstPolicy>();
+      case PolicyKind::Vliw:
+      case PolicyKind::VliwConvergent:
+        return std::make_unique<VliwPolicy>();
+    }
+    panic("unknown policy kind");
+}
+
+/**
+ * UPIO's discrete unroll/peel: runs on the unpredicated CFG, choosing
+ * factors from raw block sizes -- the inaccurate estimate that
+ * motivates if-converting first (paper §7.1).
+ */
+StatSet
+discreteCfgUnrollPeel(Function &fn, const ProfileData &profile,
+                      const TripsConstraints &constraints)
+{
+    StatSet stats;
+    // Loop headers are stable identifiers even as we restructure, but
+    // LoopInfo itself goes stale after each transformation, so collect
+    // one loop at a time.
+    std::vector<BlockId> done;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        LoopInfo loops(fn);
+        for (const Loop &loop : loops.loops()) {
+            if (std::find(done.begin(), done.end(), loop.header) !=
+                done.end()) {
+                continue;
+            }
+            done.push_back(loop.header);
+
+            size_t body_size = 0;
+            for (BlockId b : loop.blocks)
+                body_size += fn.block(b)->size();
+            double mean = profile.trips.meanTrips(loop.header);
+
+            if (mean > 0.0 && mean <= 3.5) {
+                // Low-trip loop: peel the median iteration count.
+                int k = static_cast<int>(
+                    profile.trips.tripQuantile(loop.header, 0.5));
+                k = std::clamp(k, 0, 3);
+                if (k > 0 && body_size * k <= constraints.maxInsts) {
+                    stats.add("peeledIterations",
+                              static_cast<int64_t>(
+                                  cfgPeelLoop(fn, loop, k)));
+                }
+            } else if (mean >= 4.0) {
+                // Hot loop: unroll to fill a block. The factor is
+                // computed before if-conversion, so the unroller must
+                // *guess* how much if-conversion and scalar
+                // optimization will compact the body; like classical
+                // unrollers it assumes substantial cross-iteration
+                // compaction and over-commits -- the inaccuracy that
+                // makes this ordering worst in the paper (S3).
+                int f = static_cast<int>(
+                    2 * constraints.maxInsts /
+                    std::max<size_t>(body_size, 1));
+                f = std::clamp(f, 1, 6);
+                if (f >= 2) {
+                    stats.add("unrolledIterations",
+                              static_cast<int64_t>(
+                                  cfgUnrollLoop(fn, loop, f)));
+                }
+            }
+            progress = true;
+            break; // loop info is stale; rebuild
+        }
+    }
+    fn.removeUnreachable();
+    return stats;
+}
+
+/**
+ * IUPO's discrete unroll/peel: runs after formation, using the merge
+ * engine so the factors respect the *measured* hyperblock sizes, but
+ * without iterative optimization.
+ */
+StatSet
+discreteMergeUnrollPeel(Function &fn, const ProfileData &profile,
+                        const MergeOptions &base_options)
+{
+    MergeOptions options = base_options;
+    options.enableHeadDuplication = true;
+    options.optimizeDuringMerge = false;
+    MergeEngine engine(fn, options);
+
+    // Unroll self-loop hyperblocks until the constraints say stop.
+    for (BlockId id : fn.blockIds()) {
+        if (!fn.block(id))
+            continue;
+        if (!branchesTo(*fn.block(id), id).empty())
+            unrollLoopMerge(engine, id, 4);
+    }
+
+    // Peel low-trip-count loops into their predecessors.
+    LoopInfo loops(fn);
+    std::vector<BlockId> headers;
+    for (const Loop &loop : loops.loops())
+        headers.push_back(loop.header);
+    for (BlockId header : headers) {
+        double mean = profile.trips.meanTrips(header);
+        if (mean > 0.0 && mean <= 3.5) {
+            size_t k = profile.trips.tripQuantile(header, 0.5);
+            peelLoopMerge(engine, header, std::min<size_t>(k, 3));
+        }
+    }
+    return engine.stats();
+}
+
+} // namespace
+
+CompileResult
+compileProgram(Program &program, const ProfileData &profile,
+               const CompileOptions &options)
+{
+    CompileResult result;
+    Function &fn = program.fn;
+
+    MergeOptions merge;
+    merge.constraints = options.constraints;
+    merge.enableHeadDuplication =
+        options.pipeline == Pipeline::IUP_O ||
+        options.pipeline == Pipeline::IUPO_fused;
+    merge.optimizeDuringMerge =
+        options.pipeline == Pipeline::IUPO_fused &&
+        options.policy != PolicyKind::Vliw;
+    merge.enableBlockSplitting = options.blockSplitting;
+
+    FormationOptions formation;
+    formation.merge = merge;
+
+    std::unique_ptr<Policy> policy = makePolicy(options.policy);
+
+    switch (options.pipeline) {
+      case Pipeline::BB:
+        break;
+      case Pipeline::UPIO: {
+        result.stats.merge(
+            discreteCfgUnrollPeel(fn, profile, options.constraints));
+        if (options.verifyStages)
+            verifyOrDie(fn, "UPIO unroll/peel");
+        FormationResult formed = formHyperblocks(fn, *policy, formation);
+        result.stats.merge(formed.stats);
+        optimizeFunction(fn);
+        break;
+      }
+      case Pipeline::IUPO: {
+        FormationResult formed = formHyperblocks(fn, *policy, formation);
+        result.stats.merge(formed.stats);
+        // The discrete unroller now sees accurate hyperblock sizes.
+        result.stats.merge(
+            discreteMergeUnrollPeel(fn, profile, merge));
+        optimizeFunction(fn);
+        break;
+      }
+      case Pipeline::IUP_O:
+      case Pipeline::IUPO_fused: {
+        FormationResult formed = formHyperblocks(fn, *policy, formation);
+        result.stats.merge(formed.stats);
+        optimizeFunction(fn);
+        break;
+      }
+    }
+
+    if (options.verifyStages)
+        verifyOrDie(fn, "hyperblock formation");
+
+    if (options.runBackend) {
+        result.stats.set("nullWriteInsts",
+                         static_cast<int64_t>(
+                             normalizeOutputsFunction(fn)));
+        // The normalization's truth materializations and OR chains
+        // duplicate value numbers already present in the block; clean
+        // them up before allocation.
+        optimizeFunction(fn);
+        RegAllocOptions ra;
+        ra.constraints = options.constraints;
+        RegAllocResult alloc = allocateRegisters(program, ra);
+        result.stats.set("spilledValues",
+                         static_cast<int64_t>(alloc.spilledValues));
+        result.stats.set("blocksSplit",
+                         static_cast<int64_t>(alloc.blocksSplit));
+        result.stats.set("fanoutMoves",
+                         static_cast<int64_t>(insertFanoutFunction(fn)));
+        // Size estimates can drift (post-formation optimization changes
+        // fanout demand); reverse if-conversion splits any block the
+        // later phases pushed past the ISA limits (paper §6).
+        result.stats.add(
+            "blocksSplit",
+            static_cast<int64_t>(
+                splitOversizedBlocks(fn, options.constraints)));
+        if (options.verifyStages)
+            verifyOrDie(fn, "backend");
+    }
+
+    result.stats.set("finalBlocks",
+                     static_cast<int64_t>(fn.numBlocks()));
+    result.stats.set("finalInsts",
+                     static_cast<int64_t>(fn.totalInsts()));
+    return result;
+}
+
+} // namespace chf

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The compiler pipelines compared in the paper's evaluation.
+ *
+ * Naming follows Table 1: U = (while-)loop unrolling, P = peeling,
+ * I = incremental if-conversion (hyperblock formation under the TRIPS
+ * constraints), O = scalar optimizations. Parentheses mean the phases
+ * are merged into the convergent algorithm:
+ *
+ *  - BB:      basic blocks as TRIPS blocks (baseline).
+ *  - UPIO:    CFG-level unroll/peel first (sizes estimated on
+ *             unpredicated code), then formation without head
+ *             duplication, then one scalar-optimization pass.
+ *  - IUPO:    formation first, then discrete unroll/peel driven by the
+ *             now-accurate hyperblock sizes, then optimization.
+ *  - (IUP)O:  fully convergent formation with head duplication, scalar
+ *             optimizations once at the end.
+ *  - (IUPO):  fully convergent with optimization inside the merge loop.
+ *
+ * All pipelines assume the front end already ran (inlining, for-loop
+ * unrolling, CFG simplification, scalar optimization, profiling); use
+ * prepareProgram() for that.
+ */
+
+#ifndef CHF_HYPERBLOCK_PHASE_ORDERING_H
+#define CHF_HYPERBLOCK_PHASE_ORDERING_H
+
+#include "analysis/profile.h"
+#include "hyperblock/convergent.h"
+#include "ir/program.h"
+
+namespace chf {
+
+/** Hyperblock-formation pipeline selector. */
+enum class Pipeline
+{
+    BB,
+    UPIO,
+    IUPO,
+    IUP_O,      ///< (IUP)O
+    IUPO_fused, ///< (IUPO)
+};
+
+const char *pipelineName(Pipeline pipeline);
+
+/** Block-selection heuristic selector (Table 2). */
+enum class PolicyKind
+{
+    BreadthFirst,
+    DepthFirst,
+    Vliw,           ///< path-based, scalar opts once at the end
+    VliwConvergent, ///< path-based with iterative optimization
+};
+
+const char *policyKindName(PolicyKind kind);
+
+/** Full compilation configuration. */
+struct CompileOptions
+{
+    Pipeline pipeline = Pipeline::IUPO_fused;
+    PolicyKind policy = PolicyKind::BreadthFirst;
+    TripsConstraints constraints;
+
+    /** Run output normalization, register allocation, and fanout. */
+    bool runBackend = true;
+
+    /** Enable basic-block splitting during formation (paper §9). */
+    bool blockSplitting = false;
+
+    /** Verify semantics-preservation hooks (IR verifier) per stage. */
+    bool verifyStages = true;
+};
+
+/** Outcome counters: the m/t/u/p statistics plus backend numbers. */
+struct CompileResult
+{
+    StatSet stats;
+};
+
+/**
+ * Front-end preparation shared by every pipeline: CFG simplification,
+ * scalar optimization, profiling, for-loop unrolling (using the
+ * profile, like Scale's use of prior compilations), re-simplification
+ * and re-profiling. Leaves @p program in the "BB" baseline state and
+ * returns the profile.
+ */
+ProfileData prepareProgram(Program &program,
+                           const std::vector<int64_t> &args = {},
+                           bool for_loop_unroll = true);
+
+/** Apply a pipeline to a prepared, profiled program in place. */
+CompileResult compileProgram(Program &program, const ProfileData &profile,
+                             const CompileOptions &options);
+
+} // namespace chf
+
+#endif // CHF_HYPERBLOCK_PHASE_ORDERING_H

@@ -1,0 +1,3 @@
+#include "ir/builder.h"
+
+// IRBuilder is header-only; this file anchors the translation unit.

@@ -1,0 +1,302 @@
+#include "ir/ir_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "support/fatal.h"
+
+namespace chf {
+
+namespace {
+
+/** Token scanner over one instruction line. */
+class LineScanner
+{
+  public:
+    LineScanner(const std::string &line, int line_no)
+        : text(line), lineNo(line_no)
+    {
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t')) {
+            ++pos;
+        }
+    }
+
+    bool
+    done()
+    {
+        skipSpace();
+        return pos >= text.size();
+    }
+
+    bool
+    accept(char c)
+    {
+        skipSpace();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(char c)
+    {
+        if (!accept(c))
+            fail(concat("expected '", c, "'"));
+    }
+
+    /** Word of identifier characters. */
+    std::string
+    word()
+    {
+        skipSpace();
+        size_t start = pos;
+        while (pos < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '_')) {
+            ++pos;
+        }
+        if (start == pos)
+            fail("expected a word");
+        return text.substr(start, pos - start);
+    }
+
+    int64_t
+    integer()
+    {
+        skipSpace();
+        size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+        if (start == pos)
+            fail("expected an integer");
+        return std::stoll(text.substr(start, pos - start));
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        return pos < text.size() ? text[pos] : '\0';
+    }
+
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        fatal(concat("IR parse error, line ", lineNo, ": ", what,
+                     " in \"", text, "\""));
+    }
+
+  private:
+    const std::string &text;
+    size_t pos = 0;
+    int lineNo;
+};
+
+/** Opcode by printed mnemonic. */
+Opcode
+opcodeByName(const std::string &name, LineScanner &scanner)
+{
+    for (int i = 0; i < kNumOpcodes; ++i) {
+        Opcode op = static_cast<Opcode>(i);
+        if (name == opcodeName(op))
+            return op;
+    }
+    scanner.fail(concat("unknown opcode '", name, "'"));
+}
+
+} // namespace
+
+Function
+parseFunctionIR(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+
+    // Header: "function NAME entry=bbN".
+    std::string fn_name = "main";
+    BlockId entry = 0;
+    std::vector<Vreg> args;
+    {
+        if (!std::getline(in, line))
+            fatal("IR parse error: empty input");
+        ++line_no;
+        LineScanner scanner(line, line_no);
+        if (scanner.word() != "function")
+            scanner.fail("expected 'function'");
+        fn_name = scanner.word();
+        std::string entry_word = scanner.word();
+        if (entry_word != "entry")
+            scanner.fail("expected 'entry=bbN'");
+        scanner.expect('=');
+        std::string bb = scanner.word();
+        if (bb.rfind("bb", 0) != 0)
+            scanner.fail("expected a bbN entry id");
+        entry = static_cast<BlockId>(std::stoul(bb.substr(2)));
+        // Optional "args=v0,v1,...".
+        if (!scanner.done()) {
+            if (scanner.word() != "args")
+                scanner.fail("expected 'args=...'");
+            scanner.expect('=');
+            do {
+                scanner.expect('v');
+                args.push_back(
+                    static_cast<Vreg>(scanner.integer()));
+            } while (scanner.accept(','));
+        }
+    }
+
+    Function fn(fn_name);
+    fn.argRegs = args;
+
+    // Pass 1: collect block headers and bodies as text.
+    struct RawBlock
+    {
+        BlockId id;
+        std::string name;
+        std::vector<std::pair<int, std::string>> lines;
+    };
+    std::vector<RawBlock> raw;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        if (line[0] == ' ') {
+            if (raw.empty())
+                fatal(concat("IR parse error, line ", line_no,
+                             ": instruction before any block"));
+            raw.back().lines.emplace_back(line_no, line);
+            continue;
+        }
+        // "NAME (bbID, K insts):"
+        LineScanner scanner(line, line_no);
+        RawBlock block;
+        block.name = scanner.word();
+        scanner.expect('(');
+        std::string bb = scanner.word();
+        if (bb.rfind("bb", 0) != 0)
+            scanner.fail("expected (bbN, ...)");
+        block.id = static_cast<BlockId>(std::stoul(bb.substr(2)));
+        raw.push_back(std::move(block));
+    }
+
+    // Create the id space densely, then drop the unmentioned holes.
+    BlockId max_id = entry;
+    for (const auto &block : raw)
+        max_id = std::max(max_id, block.id);
+    // Branch targets can exceed declared ids only in malformed input;
+    // scan for them so verification fails gracefully instead of
+    // asserting.
+    while (fn.blockTableSize() <= max_id)
+        fn.newBlock();
+    fn.setEntry(entry);
+
+    uint32_t max_vreg = 0;
+    auto note_vreg = [&](Vreg v) { max_vreg = std::max(max_vreg, v + 1); };
+
+    std::vector<bool> mentioned(fn.blockTableSize(), false);
+    mentioned[entry] = true;
+
+    for (const auto &block : raw) {
+        BasicBlock *bb = fn.block(block.id);
+        bb->setName(block.name);
+        mentioned[block.id] = true;
+
+        for (const auto &[ln, inst_line] : block.lines) {
+            LineScanner scanner(inst_line, ln);
+            Instruction inst;
+            inst.op = opcodeByName(scanner.word(), scanner);
+
+            auto parse_operand = [&]() -> Operand {
+                char c = scanner.peek();
+                if (c == 'v') {
+                    scanner.expect('v');
+                    Vreg v = static_cast<Vreg>(scanner.integer());
+                    note_vreg(v);
+                    return Operand::makeReg(v);
+                }
+                if (c == '#') {
+                    scanner.expect('#');
+                    return Operand::makeImm(scanner.integer());
+                }
+                if (c == '_') {
+                    scanner.expect('_');
+                    return Operand::makeNone();
+                }
+                scanner.fail("expected an operand");
+            };
+
+            if (inst.op == Opcode::Br) {
+                std::string bb_word = scanner.word();
+                if (bb_word.rfind("bb", 0) != 0)
+                    scanner.fail("expected a branch target");
+                inst.target = static_cast<BlockId>(
+                    std::stoul(bb_word.substr(2)));
+            } else if (opcodeHasDest(inst.op)) {
+                scanner.expect('v');
+                inst.dest = static_cast<Vreg>(scanner.integer());
+                note_vreg(inst.dest);
+                scanner.expect('=');
+                inst.srcs[0] = parse_operand();
+                for (int s = 1; s < inst.numSrcs(); ++s) {
+                    scanner.expect(',');
+                    inst.srcs[s] = parse_operand();
+                }
+            } else if (inst.op == Opcode::Ret) {
+                // Optional value; a predicate may follow directly.
+                if (!scanner.done() && scanner.peek() != '<')
+                    inst.srcs[0] = parse_operand();
+            } else {
+                // Store: three operands.
+                inst.srcs[0] = parse_operand();
+                for (int s = 1; s < inst.numSrcs(); ++s) {
+                    scanner.expect(',');
+                    inst.srcs[s] = parse_operand();
+                }
+            }
+
+            // Optional predicate "<[!]vP>".
+            if (!scanner.done() && scanner.peek() == '<') {
+                scanner.expect('<');
+                bool on_true = !scanner.accept('!');
+                scanner.expect('v');
+                Vreg v = static_cast<Vreg>(scanner.integer());
+                note_vreg(v);
+                inst.pred = Predicate::onReg(v, on_true);
+                scanner.expect('>');
+            }
+            if (!scanner.done())
+                scanner.fail("trailing text");
+            bb->append(inst);
+        }
+    }
+
+    // Remove hole blocks that were never declared.
+    for (BlockId id = 0; id < fn.blockTableSize(); ++id) {
+        if (!mentioned[id])
+            fn.removeBlock(id);
+    }
+
+    for (Vreg arg : fn.argRegs)
+        max_vreg = std::max(max_vreg, arg + 1);
+    while (fn.numVregs() < max_vreg)
+        fn.newVreg();
+    return fn;
+}
+
+} // namespace chf

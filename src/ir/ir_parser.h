@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Parser for the textual IR format emitted by ir/printer.h.
+ *
+ * Round-tripping (print -> parse -> print) enables golden tests, lets
+ * test cases be written as text, and makes dumps from one tool
+ * loadable in another. The grammar is exactly the printer's output:
+ *
+ *   function NAME entry=bbN
+ *   NAME (bbID, K insts):
+ *     op [vD =] operand(, operand)*  [<[!]vP>]
+ *
+ * where operands are vN registers, #imm immediates, bbN branch
+ * targets, or _ for an absent Ret value.
+ */
+
+#ifndef CHF_IR_IR_PARSER_H
+#define CHF_IR_IR_PARSER_H
+
+#include <string>
+
+#include "ir/function.h"
+
+namespace chf {
+
+/**
+ * Parse a function from printer output. Calls fatal() with a line
+ * number on malformed input.
+ */
+Function parseFunctionIR(const std::string &text);
+
+} // namespace chf
+
+#endif // CHF_IR_IR_PARSER_H

@@ -1,0 +1,93 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace chf {
+
+namespace {
+
+void
+printOperand(std::ostringstream &os, const Operand &op)
+{
+    switch (op.kind) {
+      case Operand::Kind::None:
+        os << "_";
+        break;
+      case Operand::Kind::Reg:
+        os << "v" << op.reg;
+        break;
+      case Operand::Kind::Imm:
+        os << "#" << op.imm;
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+toString(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << opcodeName(inst.op);
+    if (inst.hasDest())
+        os << " v" << inst.dest << " =";
+    if (inst.op == Opcode::Br) {
+        os << " bb" << inst.target;
+    } else {
+        for (int i = 0; i < inst.numSrcs(); ++i) {
+            if (inst.op == Opcode::Ret && inst.srcs[i].isNone())
+                break;
+            os << (i == 0 ? " " : ", ");
+            printOperand(os, inst.srcs[i]);
+        }
+    }
+    if (inst.pred.valid()) {
+        os << "  <" << (inst.pred.onTrue ? "" : "!") << "v"
+           << inst.pred.reg << ">";
+    }
+    return os.str();
+}
+
+std::string
+toString(const BasicBlock &bb)
+{
+    std::ostringstream os;
+    os << bb.name() << " (bb" << bb.id() << ", " << bb.size()
+       << " insts):\n";
+    for (const auto &inst : bb.insts)
+        os << "  " << toString(inst) << "\n";
+    return os.str();
+}
+
+std::string
+toString(const Function &fn)
+{
+    std::ostringstream os;
+    os << "function " << fn.name() << " entry=bb" << fn.entry();
+    if (!fn.argRegs.empty()) {
+        os << " args=";
+        for (size_t i = 0; i < fn.argRegs.size(); ++i)
+            os << (i ? "," : "") << "v" << fn.argRegs[i];
+    }
+    os << "\n";
+    for (BlockId id : fn.blockIds())
+        os << toString(*fn.block(id));
+    return os.str();
+}
+
+std::string
+cfgToString(const Function &fn)
+{
+    std::ostringstream os;
+    for (BlockId id : fn.blockIds()) {
+        os << "bb" << id << " ->";
+        for (BlockId s : fn.block(id)->successors())
+            os << " bb" << s;
+        if (fn.block(id)->hasReturn())
+            os << " ret";
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace chf

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Textual dump of functions, blocks and instructions.
+ */
+
+#ifndef CHF_IR_PRINTER_H
+#define CHF_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/function.h"
+
+namespace chf {
+
+/** Render one instruction as text. */
+std::string toString(const Instruction &inst);
+
+/** Render one block (header plus instructions). */
+std::string toString(const BasicBlock &bb);
+
+/** Render a whole function in block-id order, entry first. */
+std::string toString(const Function &fn);
+
+/** Render only the CFG edges of a function: "bb0 -> bb1 bb2" lines. */
+std::string cfgToString(const Function &fn);
+
+} // namespace chf
+
+#endif // CHF_IR_PRINTER_H

@@ -1,0 +1,4 @@
+#include "ir/program.h"
+
+// Program is an aggregate; this translation unit exists so the target
+// has a stable home for future non-inline members.

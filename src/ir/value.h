@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Core value types of the CHF intermediate representation: virtual
+ * registers, instruction operands, and predicates.
+ *
+ * The IR is a RISC-like, predicated, register-transfer representation in
+ * the spirit of the form Scale lowers to before TRIPS hyperblock
+ * formation. Values are 64-bit integers in virtual registers; memory is a
+ * flat word-addressed array.
+ */
+
+#ifndef CHF_IR_VALUE_H
+#define CHF_IR_VALUE_H
+
+#include <cstdint>
+#include <limits>
+
+namespace chf {
+
+/** Virtual register id. */
+using Vreg = uint32_t;
+
+/** Sentinel meaning "no register". */
+constexpr Vreg kNoVreg = std::numeric_limits<Vreg>::max();
+
+/** Basic block id (index into Function's block table). */
+using BlockId = uint32_t;
+
+/** Sentinel meaning "no block". */
+constexpr BlockId kNoBlock = std::numeric_limits<BlockId>::max();
+
+/** An instruction source operand: a register, an immediate, or unused. */
+struct Operand
+{
+    enum class Kind : uint8_t { None, Reg, Imm };
+
+    Kind kind = Kind::None;
+    Vreg reg = kNoVreg;
+    int64_t imm = 0;
+
+    static Operand
+    makeReg(Vreg r)
+    {
+        Operand op;
+        op.kind = Kind::Reg;
+        op.reg = r;
+        return op;
+    }
+
+    static Operand
+    makeImm(int64_t v)
+    {
+        Operand op;
+        op.kind = Kind::Imm;
+        op.imm = v;
+        return op;
+    }
+
+    static Operand makeNone() { return Operand{}; }
+
+    bool isReg() const { return kind == Kind::Reg; }
+    bool isImm() const { return kind == Kind::Imm; }
+    bool isNone() const { return kind == Kind::None; }
+
+    bool
+    operator==(const Operand &other) const
+    {
+        if (kind != other.kind)
+            return false;
+        switch (kind) {
+          case Kind::None:
+            return true;
+          case Kind::Reg:
+            return reg == other.reg;
+          case Kind::Imm:
+            return imm == other.imm;
+        }
+        return false;
+    }
+};
+
+/**
+ * An execution guard: the instruction executes iff the predicate register
+ * is nonzero (onTrue) or zero (!onTrue). An invalid predicate means the
+ * instruction always executes.
+ */
+struct Predicate
+{
+    Vreg reg = kNoVreg;
+    bool onTrue = true;
+
+    bool valid() const { return reg != kNoVreg; }
+
+    static Predicate
+    onReg(Vreg r, bool on_true = true)
+    {
+        Predicate p;
+        p.reg = r;
+        p.onTrue = on_true;
+        return p;
+    }
+
+    static Predicate always() { return Predicate{}; }
+
+    bool
+    operator==(const Predicate &other) const
+    {
+        if (!valid() && !other.valid())
+            return true;
+        return reg == other.reg && onTrue == other.onTrue;
+    }
+};
+
+} // namespace chf
+
+#endif // CHF_IR_VALUE_H

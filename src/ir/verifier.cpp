@@ -1,0 +1,121 @@
+#include "ir/verifier.h"
+
+#include "ir/printer.h"
+#include "support/fatal.h"
+
+namespace chf {
+
+namespace {
+
+void
+checkInst(const Function &fn, const BasicBlock &bb, size_t idx,
+          const Instruction &inst, std::vector<std::string> &problems)
+{
+    auto complain = [&](const std::string &what) {
+        problems.push_back(concat("bb", bb.id(), "[", idx, "] ",
+                                  toString(inst), ": ", what));
+    };
+
+    auto check_reg = [&](Vreg v, const char *what) {
+        if (v != kNoVreg && v >= fn.numVregs())
+            complain(concat(what, " register v", v, " out of range"));
+    };
+
+    // Destination shape.
+    if (opcodeHasDest(inst.op)) {
+        if (inst.dest == kNoVreg)
+            complain("missing destination");
+        check_reg(inst.dest, "dest");
+    } else if (inst.dest != kNoVreg) {
+        complain("unexpected destination");
+    }
+
+    // Source shape: the first numSrcs operands must be present (Ret's
+    // value is optional), the rest must be empty.
+    int nsrcs = inst.numSrcs();
+    for (int i = 0; i < 3; ++i) {
+        const Operand &src = inst.srcs[i];
+        if (i < nsrcs) {
+            if (src.isNone() && inst.op != Opcode::Ret)
+                complain(concat("missing source operand ", i));
+            if (src.isReg())
+                check_reg(src.reg, "source");
+        } else if (!src.isNone()) {
+            complain(concat("unexpected source operand ", i));
+        }
+    }
+
+    if (inst.pred.valid())
+        check_reg(inst.pred.reg, "predicate");
+
+    if (inst.op == Opcode::Br) {
+        if (inst.target == kNoBlock ||
+            inst.target >= fn.blockTableSize() ||
+            fn.block(inst.target) == nullptr) {
+            complain("branch to dead or invalid block");
+        }
+    } else if (inst.target != kNoBlock) {
+        complain("non-branch carries a target");
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+verify(const Function &fn)
+{
+    std::vector<std::string> problems;
+
+    if (fn.entry() == kNoBlock || fn.entry() >= fn.blockTableSize() ||
+        fn.block(fn.entry()) == nullptr) {
+        problems.push_back("function has no live entry block");
+        return problems;
+    }
+
+    for (Vreg arg : fn.argRegs) {
+        if (arg >= fn.numVregs())
+            problems.push_back(concat("arg register v", arg,
+                                      " out of range"));
+    }
+
+    for (BlockId id : fn.blockIds()) {
+        const BasicBlock &bb = *fn.block(id);
+        if (bb.insts.empty()) {
+            problems.push_back(concat("bb", id, " is empty"));
+            continue;
+        }
+
+        size_t branches = 0;
+        size_t unpredicated_branches = 0;
+        for (size_t i = 0; i < bb.insts.size(); ++i) {
+            const Instruction &inst = bb.insts[i];
+            checkInst(fn, bb, i, inst, problems);
+            if (inst.isBranch()) {
+                ++branches;
+                if (!inst.pred.valid())
+                    ++unpredicated_branches;
+            }
+        }
+        if (branches == 0)
+            problems.push_back(concat("bb", id, " has no branch or ret"));
+        if (unpredicated_branches > 1) {
+            problems.push_back(concat("bb", id, " has ",
+                                      unpredicated_branches,
+                                      " unpredicated branches"));
+        }
+    }
+    return problems;
+}
+
+void
+verifyOrDie(const Function &fn, const std::string &context)
+{
+    auto problems = verify(fn);
+    if (!problems.empty()) {
+        panic(concat("IR verification failed (", context,
+                     "): ", problems.front(), " [", problems.size(),
+                     " problem(s) total]"));
+    }
+}
+
+} // namespace chf

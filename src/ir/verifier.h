@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Static well-formedness checks for functions.
+ *
+ * The verifier validates structural invariants (operand shapes, branch
+ * targets, register ranges, presence of terminators). The dynamic
+ * exactly-one-branch-fires invariant of EDGE blocks is asserted by the
+ * functional simulator instead, since it depends on predicate values.
+ */
+
+#ifndef CHF_IR_VERIFIER_H
+#define CHF_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace chf {
+
+/** Check @p fn; returns human-readable problems (empty when valid). */
+std::vector<std::string> verify(const Function &fn);
+
+/** Verify and panic with the first problem if any. */
+void verifyOrDie(const Function &fn, const std::string &context);
+
+} // namespace chf
+
+#endif // CHF_IR_VERIFIER_H

@@ -1,0 +1,91 @@
+#include "report/block_report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace chf {
+
+BlockReport
+analyzeBlocks(const Function &fn, const TripsConstraints &constraints,
+              const FuncSimResult *run)
+{
+    BlockReport report;
+    size_t buckets = constraints.maxInsts / 16 + 1;
+    report.sizeHistogram.assign(buckets, 0);
+
+    double static_fill = 0.0;
+    size_t predicated = 0;
+
+    double weighted_fill = 0.0;
+    double weight = 0.0;
+
+    for (BlockId id : fn.blockIds()) {
+        const BasicBlock *bb = fn.block(id);
+        size_t size = bb->size();
+        ++report.blocks;
+        report.totalInsts += size;
+        report.maxBlockSize = std::max(report.maxBlockSize, size);
+
+        double fill = std::min(
+            1.0, static_cast<double>(size) /
+                     static_cast<double>(constraints.maxInsts));
+        static_fill += fill;
+        size_t bucket = std::min(buckets - 1, size / 16);
+        report.sizeHistogram[bucket]++;
+
+        for (const auto &inst : bb->insts) {
+            if (inst.pred.valid())
+                ++predicated;
+        }
+
+        if (run && id < run->blockCounts.size() &&
+            run->blockCounts[id] > 0) {
+            double w = static_cast<double>(run->blockCounts[id]);
+            weighted_fill += fill * w;
+            weight += w;
+        }
+    }
+
+    if (report.blocks > 0) {
+        report.staticUtilization = static_fill / report.blocks;
+        report.meanBlockSize =
+            static_cast<double>(report.totalInsts) / report.blocks;
+        report.predicatedFraction =
+            report.totalInsts == 0
+                ? 0.0
+                : static_cast<double>(predicated) / report.totalInsts;
+    }
+    if (weight > 0.0)
+        report.dynamicUtilization = weighted_fill / weight;
+    if (run && run->instsFetched > 0) {
+        report.usefulFetchFraction =
+            static_cast<double>(run->instsExecuted) /
+            static_cast<double>(run->instsFetched);
+    }
+    return report;
+}
+
+std::string
+toString(const BlockReport &report, const TripsConstraints &constraints)
+{
+    std::ostringstream os;
+    os << "blocks " << report.blocks << ", insts " << report.totalInsts
+       << ", mean size " << static_cast<int>(report.meanBlockSize)
+       << "/" << constraints.maxInsts << ", max "
+       << report.maxBlockSize << "\n";
+    os << "static fill " << static_cast<int>(
+              report.staticUtilization * 100)
+       << "%, dynamic fill "
+       << static_cast<int>(report.dynamicUtilization * 100)
+       << "%, predicated "
+       << static_cast<int>(report.predicatedFraction * 100)
+       << "%, useful fetch "
+       << static_cast<int>(report.usefulFetchFraction * 100) << "%\n";
+    os << "size histogram (x16):";
+    for (size_t i = 0; i < report.sizeHistogram.size(); ++i)
+        os << " " << report.sizeHistogram[i];
+    os << "\n";
+    return os.str();
+}
+
+} // namespace chf

@@ -1,0 +1,162 @@
+#include "sim/functional_sim.h"
+
+#include "analysis/loops.h"
+#include "ir/printer.h"
+#include "support/fatal.h"
+
+namespace chf {
+
+namespace {
+
+/** Interpreter state for one run. */
+struct Machine
+{
+    std::vector<int64_t> regs;
+    MemoryImage memory;
+
+    int64_t
+    value(const Operand &op) const
+    {
+        switch (op.kind) {
+          case Operand::Kind::Reg:
+            return regs[op.reg];
+          case Operand::Kind::Imm:
+            return op.imm;
+          case Operand::Kind::None:
+            return 0;
+        }
+        return 0;
+    }
+
+    bool
+    predicateHolds(const Predicate &pred) const
+    {
+        if (!pred.valid())
+            return true;
+        bool truth = regs[pred.reg] != 0;
+        return pred.onTrue ? truth : !truth;
+    }
+};
+
+} // namespace
+
+FuncSimResult
+runFunctional(const Program &program, const std::vector<int64_t> &args,
+              const FuncSimOptions &options)
+{
+    const Function &fn = program.fn;
+    FuncSimResult result;
+
+    Machine m;
+    m.regs.assign(fn.numVregs(), 0);
+    m.memory = program.memory;
+
+    const std::vector<int64_t> &actual_args =
+        args.empty() ? program.defaultArgs : args;
+    CHF_ASSERT(actual_args.size() >= fn.argRegs.size(),
+               "too few arguments for program");
+    for (size_t i = 0; i < fn.argRegs.size(); ++i)
+        m.regs[fn.argRegs[i]] = actual_args[i];
+
+    result.blockCounts.assign(fn.blockTableSize(), 0);
+    result.branchFires.assign(fn.blockTableSize(), {});
+
+    BlockId current = fn.entry();
+    bool returned = false;
+
+    while (!returned) {
+        const BasicBlock *bb = fn.block(current);
+        CHF_ASSERT(bb != nullptr, "execution reached a removed block");
+
+        if (result.blocksExecuted >= options.maxBlocks) {
+            fatal(concat("functional simulation exceeded ",
+                         options.maxBlocks, " blocks (infinite loop?)"));
+        }
+
+        ++result.blocksExecuted;
+        ++result.blockCounts[current];
+        result.instsFetched += bb->size();
+        if (options.recordTrace)
+            result.trace.push_back(current);
+
+        auto &fires = result.branchFires[current];
+        if (fires.size() < bb->size())
+            fires.resize(bb->size(), 0);
+
+        // Execute the whole block: every instruction whose predicate
+        // holds fires, including those after a firing branch (EDGE
+        // blocks are atomic dataflow regions, not sequenced code).
+        BlockId next = kNoBlock;
+        size_t branches_fired = 0;
+
+        for (size_t i = 0; i < bb->insts.size(); ++i) {
+            const Instruction &inst = bb->insts[i];
+            if (!m.predicateHolds(inst.pred))
+                continue;
+            ++result.instsExecuted;
+
+            switch (inst.op) {
+              case Opcode::Load:
+                m.regs[inst.dest] = m.memory.read(
+                    m.value(inst.srcs[0]) + m.value(inst.srcs[1]));
+                break;
+              case Opcode::Store:
+                m.memory.write(
+                    m.value(inst.srcs[0]) + m.value(inst.srcs[1]),
+                    m.value(inst.srcs[2]));
+                break;
+              case Opcode::Br:
+                ++branches_fired;
+                ++fires[i];
+                next = inst.target;
+                break;
+              case Opcode::Ret:
+                ++branches_fired;
+                ++fires[i];
+                returned = true;
+                result.returnValue = m.value(inst.srcs[0]);
+                break;
+              default:
+                m.regs[inst.dest] =
+                    evalOpcode(inst.op, m.value(inst.srcs[0]),
+                             m.value(inst.srcs[1]));
+                break;
+            }
+        }
+
+        if (branches_fired != 1) {
+            panic(concat("block bb", current, " fired ", branches_fired,
+                         " branches in one execution (must be exactly 1)"
+                         "\n", toString(*bb)));
+        }
+
+        if (!returned) {
+            result.edges.addEdge(current, next);
+            current = next;
+        }
+    }
+
+    result.memoryHash = m.memory.hash();
+    result.memory = std::move(m.memory);
+    return result;
+}
+
+ProfileData
+profileProgram(Program &program, const std::vector<int64_t> &args)
+{
+    FuncSimOptions options;
+    options.recordTrace = true;
+    FuncSimResult run = runFunctional(program, args, options);
+
+    annotateBranchFrequencies(program.fn, run.branchFires);
+
+    ProfileData profile;
+    profile.edges = run.edges;
+    profile.edges.addEntry(program.fn.entry());
+
+    LoopInfo loops(program.fn);
+    profile.trips = computeTripHistograms(run.trace, loops);
+    return profile;
+}
+
+} // namespace chf

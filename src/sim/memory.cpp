@@ -1,0 +1,113 @@
+#include "sim/memory.h"
+
+#include "support/fatal.h"
+
+namespace chf {
+
+int64_t
+MemoryImage::allocate(const std::string &name, int64_t size)
+{
+    CHF_ASSERT(size >= 0, "negative region size");
+    for (const auto &g : globals) {
+        if (g.name == name)
+            fatal(concat("duplicate global region: ", name));
+    }
+    GlobalRegion region;
+    region.name = name;
+    region.base = nextFree;
+    region.size = size;
+    globals.push_back(region);
+    nextFree += size;
+    ensure(nextFree);
+    return region.base;
+}
+
+const GlobalRegion &
+MemoryImage::region(const std::string &name) const
+{
+    for (const auto &g : globals) {
+        if (g.name == name)
+            return g;
+    }
+    fatal(concat("unknown global region: ", name));
+}
+
+bool
+MemoryImage::hasRegion(const std::string &name) const
+{
+    for (const auto &g : globals) {
+        if (g.name == name)
+            return true;
+    }
+    return false;
+}
+
+int64_t
+MemoryImage::read(int64_t addr) const
+{
+    // Reads never grow the image and out-of-image reads return zero:
+    // speculatively issued (unpredicated) loads may compute wild
+    // addresses from stale operands, and their results are only
+    // observed by correctly guarded consumers.
+    if (addr < 0 || addr >= static_cast<int64_t>(data.size()))
+        return 0;
+    return data[addr];
+}
+
+void
+MemoryImage::write(int64_t addr, int64_t value)
+{
+    if (addr < 0)
+        fatal(concat("memory write at negative address ", addr));
+    if (addr >= (int64_t(1) << 26))
+        fatal(concat("memory write beyond image cap at ", addr));
+    ensure(addr + 1);
+    data[addr] = value;
+}
+
+int64_t
+MemoryImage::readIn(const std::string &name, int64_t index) const
+{
+    const GlobalRegion &g = region(name);
+    CHF_ASSERT(index >= 0 && index < g.size, "region index out of range");
+    return read(g.base + index);
+}
+
+void
+MemoryImage::writeIn(const std::string &name, int64_t index, int64_t value)
+{
+    const GlobalRegion &g = region(name);
+    CHF_ASSERT(index >= 0 && index < g.size, "region index out of range");
+    write(g.base + index, value);
+}
+
+void
+MemoryImage::fillRegion(const std::string &name,
+                        const std::vector<int64_t> &values)
+{
+    const GlobalRegion &g = region(name);
+    for (int64_t i = 0; i < g.size; ++i) {
+        int64_t v = i < static_cast<int64_t>(values.size()) ? values[i] : 0;
+        write(g.base + i, v);
+    }
+}
+
+uint64_t
+MemoryImage::hash() const
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (int64_t w : data) {
+        h ^= static_cast<uint64_t>(w);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+MemoryImage::ensure(int64_t addr) const
+{
+    if (addr > static_cast<int64_t>(data.size()))
+        data.resize(addr, 0);
+}
+
+} // namespace chf

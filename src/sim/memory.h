@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Flat word-addressed memory image with named global regions.
+ *
+ * Programs address memory in 64-bit words. Globals (scalars and arrays)
+ * are laid out contiguously from address 0; a spill area for the register
+ * allocator is reserved at the top of the image.
+ */
+
+#ifndef CHF_SIM_MEMORY_H
+#define CHF_SIM_MEMORY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chf {
+
+/** A named global region within the memory image. */
+struct GlobalRegion
+{
+    std::string name;
+    int64_t base = 0;   ///< word address of first element
+    int64_t size = 0;   ///< number of words
+};
+
+/** Word-addressed memory with named globals. */
+class MemoryImage
+{
+  public:
+    /** Allocate a named region of @p size words; returns base address. */
+    int64_t allocate(const std::string &name, int64_t size);
+
+    /** Region descriptor by name; fatal if absent. */
+    const GlobalRegion &region(const std::string &name) const;
+
+    /** True if a region with this name exists. */
+    bool hasRegion(const std::string &name) const;
+
+    /** All regions, in allocation order. */
+    const std::vector<GlobalRegion> &regions() const { return globals; }
+
+    /** Total allocated words. */
+    int64_t allocatedWords() const { return nextFree; }
+
+    int64_t read(int64_t addr) const;
+    void write(int64_t addr, int64_t value);
+
+    /** Convenience: read region word. */
+    int64_t readIn(const std::string &name, int64_t index) const;
+
+    /** Convenience: write region word. */
+    void writeIn(const std::string &name, int64_t index, int64_t value);
+
+    /** Fill a region from a host vector (truncating/zero-extending). */
+    void fillRegion(const std::string &name,
+                    const std::vector<int64_t> &values);
+
+    /** Raw words (sized to the high-water mark of writes/allocations). */
+    const std::vector<int64_t> &words() const { return data; }
+
+    /** FNV-1a hash of all allocated words; used to compare end states. */
+    uint64_t hash() const;
+
+  private:
+    void ensure(int64_t addr) const;
+
+    std::vector<GlobalRegion> globals;
+    int64_t nextFree = 0;
+    mutable std::vector<int64_t> data;
+};
+
+} // namespace chf
+
+#endif // CHF_SIM_MEMORY_H

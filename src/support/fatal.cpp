@@ -1,0 +1,22 @@
+#include "support/fatal.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace chf {
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "chf panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "chf fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+} // namespace chf

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fatal-error and assertion helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (compiler bugs), fatal() is for user-level errors such as
+ * malformed input programs. Both print a message and terminate; panic
+ * aborts so a debugger can catch it, fatal exits cleanly.
+ */
+
+#ifndef CHF_SUPPORT_FATAL_H
+#define CHF_SUPPORT_FATAL_H
+
+#include <sstream>
+#include <string>
+
+namespace chf {
+
+/** Terminate due to an internal invariant violation (a CHF bug). */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Terminate due to a user-level error (bad input program, bad config). */
+[[noreturn]] void fatal(const std::string &msg);
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &head, const Rest &...rest)
+{
+    os << head;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Build a message from stream-formattable pieces. */
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace chf
+
+/** Assert an internal invariant; always enabled (not tied to NDEBUG). */
+#define CHF_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::chf::panic(::chf::concat("assertion failed: ", #cond, " (", \
+                                       __FILE__, ":", __LINE__, ") ",      \
+                                       ##__VA_ARGS__));                    \
+        }                                                                  \
+    } while (0)
+
+#endif // CHF_SUPPORT_FATAL_H

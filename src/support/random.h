@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for tests and workload
+ * input generation. xoshiro-style; never seeded from the environment so
+ * every run of the suite is reproducible.
+ */
+
+#ifndef CHF_SUPPORT_RANDOM_H
+#define CHF_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace chf {
+
+/** SplitMix64-seeded xorshift64* generator. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 scramble so small seeds diverge immediately.
+        uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        state = z ^ (z >> 31);
+        if (state == 0)
+            state = 0x2545f4914f6cdd1dull;
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(
+                        static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability num/den. */
+    bool
+    chance(uint64_t num, uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace chf
+
+#endif // CHF_SUPPORT_RANDOM_H

@@ -1,0 +1,72 @@
+#include "support/stats.h"
+
+#include <sstream>
+
+namespace chf {
+
+void
+StatSet::add(const std::string &name, int64_t delta)
+{
+    for (auto &entry : counters) {
+        if (entry.first == name) {
+            entry.second += delta;
+            return;
+        }
+    }
+    counters.emplace_back(name, delta);
+}
+
+void
+StatSet::set(const std::string &name, int64_t value)
+{
+    for (auto &entry : counters) {
+        if (entry.first == name) {
+            entry.second = value;
+            return;
+        }
+    }
+    counters.emplace_back(name, value);
+}
+
+int64_t
+StatSet::get(const std::string &name) const
+{
+    for (const auto &entry : counters) {
+        if (entry.first == name)
+            return entry.second;
+    }
+    return 0;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    for (const auto &entry : counters) {
+        if (entry.first == name)
+            return true;
+    }
+    return false;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &entry : other.counters)
+        add(entry.first, entry.second);
+}
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &entry : counters) {
+        if (!first)
+            os << ' ';
+        first = false;
+        os << entry.first << '=' << entry.second;
+    }
+    return os.str();
+}
+
+} // namespace chf

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Named counters shared by passes and simulators.
+ *
+ * A StatSet is a cheap ordered map from counter name to int64 used to
+ * report transform activity (merges, tail duplications, unrolled and
+ * peeled iterations — the m/t/u/p statistics of the paper's Table 1) and
+ * simulator event counts.
+ */
+
+#ifndef CHF_SUPPORT_STATS_H
+#define CHF_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace chf {
+
+/** Ordered collection of named int64 counters. */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name, creating it at zero if absent. */
+    void add(const std::string &name, int64_t delta = 1);
+
+    /** Set counter @p name to @p value. */
+    void set(const std::string &name, int64_t value);
+
+    /** Value of counter @p name; zero if absent. */
+    int64_t get(const std::string &name) const;
+
+    /** True if counter @p name exists. */
+    bool has(const std::string &name) const;
+
+    /** Merge counters from @p other into this set. */
+    void merge(const StatSet &other);
+
+    /** All counters in insertion order. */
+    const std::vector<std::pair<std::string, int64_t>> &
+    entries() const
+    {
+        return counters;
+    }
+
+    /** Render as "name=value name=value ...". */
+    std::string toString() const;
+
+  private:
+    std::vector<std::pair<std::string, int64_t>> counters;
+};
+
+} // namespace chf
+
+#endif // CHF_SUPPORT_STATS_H

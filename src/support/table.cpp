@@ -1,0 +1,88 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/fatal.h"
+
+namespace chf {
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    CHF_ASSERT(cells.size() == header.size(),
+               "row width does not match header");
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows.emplace_back();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(header.size(), 0);
+    for (size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](std::ostringstream &os,
+                        const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            os << row[c];
+            os << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << " |\n";
+    };
+
+    auto emit_sep = [&](std::ostringstream &os) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            os << (c == 0 ? "|-" : "-|-");
+            os << std::string(widths[c], '-');
+        }
+        os << "-|\n";
+    };
+
+    std::ostringstream os;
+    emit_row(os, header);
+    emit_sep(os);
+    for (const auto &row : rows) {
+        if (row.empty())
+            emit_sep(os);
+        else
+            emit_row(os, row);
+    }
+    return os.str();
+}
+
+std::string
+TextTable::fmt(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+TextTable::pct(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", value);
+    return buf;
+}
+
+} // namespace chf

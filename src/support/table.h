@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harnesses to print
+ * paper-style result tables (Table 1, Table 2, Table 3).
+ */
+
+#ifndef CHF_SUPPORT_TABLE_H
+#define CHF_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace chf {
+
+/** Column-aligned text table with a header row and separator. */
+class TextTable
+{
+  public:
+    /** Set the header cells; defines the column count. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table with aligned columns. */
+    std::string render() const;
+
+    /** Format a double with @p decimals fraction digits. */
+    static std::string fmt(double value, int decimals = 1);
+
+    /** Format a percentage improvement, signed, one decimal. */
+    static std::string pct(double value);
+
+  private:
+    std::vector<std::string> header;
+    // Empty row vector encodes a separator.
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace chf
+
+#endif // CHF_SUPPORT_TABLE_H

@@ -1,0 +1,85 @@
+#include "transform/cfg_utils.h"
+
+#include "support/fatal.h"
+
+namespace chf {
+
+std::vector<size_t>
+branchesTo(const BasicBlock &bb, BlockId target)
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < bb.insts.size(); ++i) {
+        if (bb.insts[i].op == Opcode::Br && bb.insts[i].target == target)
+            out.push_back(i);
+    }
+    return out;
+}
+
+double
+branchFreqTo(const BasicBlock &bb, BlockId target)
+{
+    double total = 0.0;
+    for (const auto &inst : bb.insts) {
+        if (inst.op == Opcode::Br && inst.target == target)
+            total += inst.freq;
+    }
+    return total;
+}
+
+void
+redirectBranches(BasicBlock &bb, BlockId from, BlockId to)
+{
+    for (auto &inst : bb.insts) {
+        if (inst.op == Opcode::Br && inst.target == from)
+            inst.target = to;
+    }
+}
+
+void
+scaleBranchFreqs(BasicBlock &bb, double factor)
+{
+    for (auto &inst : bb.insts) {
+        if (inst.isBranch())
+            inst.freq *= factor;
+    }
+}
+
+std::map<BlockId, BlockId>
+cloneRegion(Function &fn, const std::vector<BlockId> &blocks,
+            double freq_scale)
+{
+    std::map<BlockId, BlockId> remap;
+    for (BlockId id : blocks) {
+        CHF_ASSERT(fn.block(id), "cloneRegion of removed block");
+        BasicBlock *clone = fn.newBlock(fn.block(id)->name() + "_dup");
+        remap[id] = clone->id();
+    }
+    for (BlockId id : blocks) {
+        BasicBlock *src = fn.block(id);
+        BasicBlock *dst = fn.block(remap[id]);
+        dst->insts = src->insts;
+        for (auto &inst : dst->insts) {
+            if (inst.op == Opcode::Br) {
+                auto it = remap.find(inst.target);
+                if (it != remap.end())
+                    inst.target = it->second;
+            }
+        }
+        scaleBranchFreqs(*dst, freq_scale);
+        scaleBranchFreqs(*src, 1.0 - freq_scale);
+    }
+    return remap;
+}
+
+double
+entryShare(const BasicBlock &hb, const BasicBlock &s)
+{
+    double into_s = s.frequency();
+    double from_hb = branchFreqTo(hb, s.id());
+    if (into_s <= 0.0)
+        return from_hb > 0.0 ? 1.0 : 0.0;
+    double share = from_hb / into_s;
+    return share > 1.0 ? 1.0 : share;
+}
+
+} // namespace chf

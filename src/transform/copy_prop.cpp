@@ -1,0 +1,163 @@
+#include "transform/copy_prop.h"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/liveness.h"
+
+namespace chf {
+
+size_t
+copyPropagateBlock(BasicBlock &bb)
+{
+    // Map from copy destination to its source operand, valid until
+    // either side is redefined.
+    std::map<Vreg, Operand> copies;
+    size_t rewritten = 0;
+
+    auto invalidate = [&](Vreg v) {
+        copies.erase(v);
+        for (auto it = copies.begin(); it != copies.end();) {
+            if (it->second.isReg() && it->second.reg == v)
+                it = copies.erase(it);
+            else
+                ++it;
+        }
+    };
+
+    for (auto &inst : bb.insts) {
+        // Rewrite register sources.
+        for (int i = 0; i < inst.numSrcs(); ++i) {
+            if (!inst.srcs[i].isReg())
+                continue;
+            auto it = copies.find(inst.srcs[i].reg);
+            if (it != copies.end()) {
+                inst.srcs[i] = it->second;
+                ++rewritten;
+            }
+        }
+        // Rewrite the predicate register only when the copy source is
+        // itself a register (predicates cannot hold immediates).
+        if (inst.pred.valid()) {
+            auto it = copies.find(inst.pred.reg);
+            if (it != copies.end() && it->second.isReg()) {
+                inst.pred.reg = it->second.reg;
+                ++rewritten;
+            }
+        }
+
+        if (inst.hasDest()) {
+            invalidate(inst.dest);
+            if (inst.op == Opcode::Mov && !inst.pred.valid() &&
+                !(inst.srcs[0].isReg() && inst.srcs[0].reg == inst.dest)) {
+                copies[inst.dest] = inst.srcs[0];
+            }
+        }
+    }
+    return rewritten;
+}
+
+size_t
+copyPropagateFunction(Function &fn)
+{
+    size_t total = 0;
+    for (BlockId id : fn.blockIds())
+        total += copyPropagateBlock(*fn.block(id));
+    return total;
+}
+
+size_t
+coalesceMoves(BasicBlock &bb, const BitVector &live_out)
+{
+    size_t nv = live_out.size();
+
+    // Per-register def counts, use counts, and predicate-use flags.
+    std::vector<uint32_t> defs(nv, 0), uses(nv, 0);
+    std::vector<uint8_t> pred_use(nv, 0);
+    auto recount = [&]() {
+        std::fill(defs.begin(), defs.end(), 0);
+        std::fill(uses.begin(), uses.end(), 0);
+        std::fill(pred_use.begin(), pred_use.end(), 0);
+        for (const auto &inst : bb.insts) {
+            for (int s = 0; s < inst.numSrcs(); ++s) {
+                if (inst.srcs[s].isReg() && inst.srcs[s].reg < nv)
+                    uses[inst.srcs[s].reg]++;
+            }
+            if (inst.pred.valid() && inst.pred.reg < nv)
+                pred_use[inst.pred.reg] = 1;
+            if (inst.hasDest() && inst.dest < nv)
+                defs[inst.dest]++;
+        }
+    };
+    recount();
+
+    size_t coalesced = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t j = 0; j < bb.insts.size(); ++j) {
+            const Instruction &mov = bb.insts[j];
+            if (mov.op != Opcode::Mov || mov.pred.valid() ||
+                !mov.srcs[0].isReg()) {
+                continue;
+            }
+            Vreg t = mov.srcs[0].reg;
+            Vreg x = mov.dest;
+            if (t == x || t >= nv || x >= nv)
+                continue;
+            // t must be a one-def, one-use (this mov) local temporary.
+            if (defs[t] != 1 || uses[t] != 1 || pred_use[t] ||
+                live_out.test(t)) {
+                continue;
+            }
+            // Locate t's def before the mov.
+            size_t i = j;
+            bool found = false;
+            while (i-- > 0) {
+                if (bb.insts[i].hasDest() && bb.insts[i].dest == t) {
+                    found = true;
+                    break;
+                }
+            }
+            if (!found || bb.insts[i].pred.valid() ||
+                bb.insts[i].isBranch()) {
+                continue;
+            }
+            // x must be untouched between the def and the mov.
+            bool interference = false;
+            for (size_t k = i + 1; k < j && !interference; ++k) {
+                const Instruction &mid = bb.insts[k];
+                if (mid.hasDest() && mid.dest == x)
+                    interference = true;
+                mid.forEachUse([&](Vreg v) {
+                    if (v == x)
+                        interference = true;
+                });
+            }
+            if (interference)
+                continue;
+
+            bb.insts[i].dest = x;
+            bb.insts.erase(bb.insts.begin() + static_cast<long>(j));
+            ++coalesced;
+            changed = true;
+            recount();
+            break;
+        }
+    }
+    return coalesced;
+}
+
+size_t
+coalesceMovesFunction(Function &fn)
+{
+    Liveness liveness(fn);
+    size_t total = 0;
+    for (BlockId id : fn.blockIds()) {
+        BasicBlock *bb = fn.block(id);
+        total += coalesceMoves(*bb, liveness.liveOutOf(fn, *bb));
+    }
+    return total;
+}
+
+} // namespace chf

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Local copy propagation: forwards the sources of unpredicated moves
+ * into later uses so the moves become dead (removed by DCE).
+ */
+
+#ifndef CHF_TRANSFORM_COPY_PROP_H
+#define CHF_TRANSFORM_COPY_PROP_H
+
+#include "ir/function.h"
+#include "support/bitvector.h"
+
+namespace chf {
+
+/** Propagate copies within @p bb. @return number of uses rewritten. */
+size_t copyPropagateBlock(BasicBlock &bb);
+
+/** Apply to every block. @return total uses rewritten. */
+size_t copyPropagateFunction(Function &fn);
+
+/**
+ * Coalesce `t = op ...; x = mov t` pairs into `x = op ...` when t is a
+ * block-local temporary with no other uses and x is untouched in
+ * between. The front end emits this shape for every assignment to a
+ * mutable variable; coalescing it is what exposes `i = i + 1` to the
+ * counted-loop matcher and removes most lowering chatter.
+ * @return number of moves coalesced.
+ */
+size_t coalesceMoves(BasicBlock &bb, const BitVector &live_out);
+
+/** Apply coalesceMoves to every block. @return total coalesced. */
+size_t coalesceMovesFunction(Function &fn);
+
+} // namespace chf
+
+#endif // CHF_TRANSFORM_COPY_PROP_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Value numbering with constant folding, algebraic simplification, and
+ * redundant-load elimination.
+ *
+ * The paper's Optimize step applies "dominator-based global value
+ * numbering" to the merged block. Because convergent formation merges
+ * whole blocks, the scope that matters is the single merged hyperblock,
+ * so this pass implements predicate-aware local value numbering over a
+ * block. A function-wide driver applies it to every block.
+ *
+ * Predicate awareness: two instructions are redundant only if their
+ * opcode, operand value numbers, and predicate (register value number
+ * plus polarity) all match; the later one is rewritten to a predicated
+ * move from the earlier destination. A predicated write always gives
+ * its destination a fresh value number, since the old value may flow
+ * through.
+ */
+
+#ifndef CHF_TRANSFORM_GVN_H
+#define CHF_TRANSFORM_GVN_H
+
+#include "ir/function.h"
+
+namespace chf {
+
+/**
+ * Value-number @p bb in place.
+ * @return number of instructions simplified (folded, strength-reduced,
+ *         or rewritten to moves).
+ */
+size_t valueNumberBlock(Function &fn, BasicBlock &bb);
+
+/** Apply valueNumberBlock to every block. @return total simplified. */
+size_t valueNumberFunction(Function &fn);
+
+/**
+ * Dominator-based global value numbering (the pass the paper's
+ * Optimize step names). Scoped expression tables are pushed down the
+ * dominator tree; to stay sound without SSA, only expressions whose
+ * destination and register operands are single-assignment in the whole
+ * function participate -- exactly the subset whose values are
+ * path-independent wherever they are visible. A redundant computation
+ * in a dominated block becomes a move from the dominating holder.
+ * @return number of instructions rewritten.
+ */
+size_t valueNumberFunctionDominator(Function &fn);
+
+} // namespace chf
+
+#endif // CHF_TRANSFORM_GVN_H

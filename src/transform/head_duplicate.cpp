@@ -1,0 +1,144 @@
+#include "transform/head_duplicate.h"
+
+#include "transform/cfg_utils.h"
+
+namespace chf {
+
+size_t
+peelLoopMerge(MergeEngine &engine, BlockId header, size_t iterations)
+{
+    Function &fn = engine.function();
+    size_t peeled = 0;
+    for (size_t i = 0; i < iterations; ++i) {
+        if (!fn.block(header))
+            break;
+        // Find a predecessor entering the loop from outside (the edge
+        // is not a back edge); merge the header into it.
+        LoopInfo loops(fn);
+        PredecessorMap preds = fn.predecessors();
+        BlockId entry_pred = kNoBlock;
+        for (BlockId p : preds[header]) {
+            if (!loops.isBackEdge(p, header)) {
+                entry_pred = p;
+                break;
+            }
+        }
+        if (entry_pred == kNoBlock)
+            break;
+        MergeOutcome outcome = engine.tryMerge(entry_pred, header);
+        if (!outcome.success)
+            break;
+        ++peeled;
+    }
+    return peeled;
+}
+
+size_t
+unrollLoopMerge(MergeEngine &engine, BlockId block, size_t iterations)
+{
+    Function &fn = engine.function();
+    size_t added = 0;
+    for (size_t i = 0; i < iterations; ++i) {
+        if (!fn.block(block))
+            break;
+        if (branchesTo(*fn.block(block), block).empty())
+            break; // no self back edge
+        MergeOutcome outcome = engine.tryMerge(block, block);
+        if (!outcome.success)
+            break;
+        ++added;
+    }
+    return added;
+}
+
+size_t
+cfgUnrollLoop(Function &fn, const Loop &loop, int factor)
+{
+    if (factor < 2 || loop.blocks.empty())
+        return 0;
+    // Every latch must be a live block and the header intact.
+    if (!fn.block(loop.header))
+        return 0;
+
+    size_t clones = 0;
+    // Chain: original latches -> clone1 header; clone_i latches ->
+    // clone_{i+1} header; last clone's latches -> original header.
+    std::vector<BlockId> prev_latches = loop.latches;
+    double scale = 1.0 / factor;
+
+    for (int iter = 1; iter < factor; ++iter) {
+        auto remap = cloneRegion(fn, loop.blocks, scale);
+        BlockId clone_header = remap.at(loop.header);
+
+        // Back edges within the clone currently target the clone's own
+        // header; they must go to the *next* copy (patched on the next
+        // iteration) -- for now aim them at the original header, and
+        // fix the previous copies' latches to this clone.
+        for (BlockId old_latch : loop.latches) {
+            BasicBlock *cl = fn.block(remap.at(old_latch));
+            redirectBranches(*cl, clone_header, loop.header);
+        }
+        for (BlockId latch : prev_latches) {
+            BasicBlock *lb = fn.block(latch);
+            redirectBranches(*lb, loop.header, clone_header);
+        }
+        prev_latches.clear();
+        for (BlockId old_latch : loop.latches)
+            prev_latches.push_back(remap.at(old_latch));
+        ++clones;
+    }
+    return clones;
+}
+
+size_t
+cfgPeelLoop(Function &fn, const Loop &loop, int iterations)
+{
+    if (iterations < 1 || loop.blocks.empty())
+        return 0;
+    if (!fn.block(loop.header))
+        return 0;
+
+    // Entry edges: predecessors of the header outside the loop.
+    PredecessorMap preds = fn.predecessors();
+    std::vector<BlockId> entries;
+    for (BlockId p : preds[loop.header]) {
+        if (!loop.contains(p))
+            entries.push_back(p);
+    }
+    if (entries.empty())
+        return 0;
+
+    size_t peeled = 0;
+    // The blocks whose branches should enter the next peeled copy.
+    std::vector<BlockId> redirect_from = entries;
+    BlockId redirect_target = loop.header;
+
+    for (int iter = 0; iter < iterations; ++iter) {
+        double scale = 0.5 / (iter + 1);
+        auto remap = cloneRegion(fn, loop.blocks, scale);
+        BlockId clone_header = remap.at(loop.header);
+
+        // The peeled copy runs once: its back edges continue into the
+        // loop (the original header).
+        for (BlockId old_latch : loop.latches) {
+            BasicBlock *cl = fn.block(remap.at(old_latch));
+            redirectBranches(*cl, clone_header, loop.header);
+        }
+        // Outside entries (or the previous peel's latches) enter the
+        // copy instead of the loop.
+        for (BlockId from : redirect_from) {
+            BasicBlock *fb = fn.block(from);
+            redirectBranches(*fb, redirect_target, clone_header);
+        }
+
+        // Next peel chains after this copy's latches.
+        redirect_from.clear();
+        for (BlockId old_latch : loop.latches)
+            redirect_from.push_back(remap.at(old_latch));
+        redirect_target = loop.header;
+        ++peeled;
+    }
+    return peeled;
+}
+
+} // namespace chf

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Head duplication: the paper's central mechanism (§4.1, Figs. 3-4),
+ * in two forms.
+ *
+ * 1. Engine form (predicated, used by convergent formation and the
+ *    discrete IUPO phase): peelLoopMerge()/unrollLoopMerge() drive the
+ *    MergeEngine to merge a loop header into a predecessor (peeling) or
+ *    a loop body into itself (unrolling), one iteration at a time.
+ *
+ * 2. CFG form (unpredicated, used by the UPIO phase which unrolls and
+ *    peels *before* if-conversion): cfgPeelLoop()/cfgUnrollLoop() clone
+ *    whole loop bodies, keeping every iteration's exit test, exactly as
+ *    a classical while-loop unroller must.
+ */
+
+#ifndef CHF_TRANSFORM_HEAD_DUPLICATE_H
+#define CHF_TRANSFORM_HEAD_DUPLICATE_H
+
+#include "analysis/loops.h"
+#include "hyperblock/merge.h"
+#include "ir/function.h"
+
+namespace chf {
+
+/**
+ * Peel up to @p iterations copies of the loop at @p header into its
+ * non-latch predecessor via predicated merges. Stops early when the
+ * block constraints reject a merge. @return iterations peeled.
+ */
+size_t peelLoopMerge(MergeEngine &engine, BlockId header,
+                     size_t iterations);
+
+/**
+ * Unroll the self-loop hyperblock @p block by appending up to
+ * @p iterations pristine copies of its body. @return iterations added.
+ */
+size_t unrollLoopMerge(MergeEngine &engine, BlockId block,
+                       size_t iterations);
+
+/**
+ * CFG-level while-loop unrolling: clone the entire loop body
+ * @p factor - 1 times, chaining the back edges so each pass executes
+ * @p factor tested iterations. @return clones created (0 if the loop
+ * shape is unsupported).
+ */
+size_t cfgUnrollLoop(Function &fn, const Loop &loop, int factor);
+
+/**
+ * CFG-level peeling: clone the loop @p iterations times ahead of it,
+ * redirecting outside entry edges through the peeled copies.
+ * @return iterations peeled.
+ */
+size_t cfgPeelLoop(Function &fn, const Loop &loop, int iterations);
+
+} // namespace chf
+
+#endif // CHF_TRANSFORM_HEAD_DUPLICATE_H

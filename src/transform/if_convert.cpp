@@ -1,0 +1,193 @@
+#include "transform/if_convert.h"
+
+#include <map>
+
+#include "support/fatal.h"
+#include "transform/cfg_utils.h"
+
+namespace chf {
+
+bool
+writesReg(const BasicBlock &bb, Vreg reg)
+{
+    for (const auto &inst : bb.insts) {
+        if (inst.hasDest() && inst.dest == reg)
+            return true;
+    }
+    return false;
+}
+
+namespace {
+
+/** How the entry condition of the merge is represented. */
+enum class EntryKind
+{
+    Always,       ///< S executes on every path through HB
+    DirectPred,   ///< reuse the branch's own (reg, polarity)
+    Materialized, ///< a fresh 0/1 register computed from the branches
+};
+
+/** Emit reg = (src != 0) or (src == 0) capturing a predicate's truth. */
+Instruction
+materializeTruth(Vreg dest, Vreg src, bool on_true)
+{
+    return Instruction::binary(on_true ? Opcode::Tne : Opcode::Teq, dest,
+                               Operand::makeReg(src),
+                               Operand::makeImm(0));
+}
+
+} // namespace
+
+bool
+combineBlocks(Function &fn, BasicBlock &hb, const BasicBlock &s,
+              double freq_share)
+{
+    std::vector<size_t> consumed = branchesTo(hb, s.id());
+    if (consumed.empty())
+        return false;
+
+    // Classify the entry condition.
+    EntryKind kind = EntryKind::Materialized;
+    Predicate direct;
+
+    bool any_unpred = false;
+    for (size_t idx : consumed) {
+        if (!hb.insts[idx].pred.valid())
+            any_unpred = true;
+    }
+    if (any_unpred) {
+        kind = EntryKind::Always;
+    } else if (consumed.size() == 2) {
+        // Complementary pair (p, true) + (p, false) covers all paths.
+        const Predicate &a = hb.insts[consumed[0]].pred;
+        const Predicate &b = hb.insts[consumed[1]].pred;
+        if (a.reg == b.reg && a.onTrue != b.onTrue)
+            kind = EntryKind::Always;
+    }
+    if (kind != EntryKind::Always && consumed.size() == 1) {
+        // The branch predicate can be used directly if its register is
+        // not redefined between the branch and the end of the merged
+        // block (later HB instructions or S's own code).
+        const Predicate &p = hb.insts[consumed[0]].pred;
+        bool redefined = writesReg(s, p.reg);
+        for (size_t i = consumed[0] + 1; i < hb.insts.size(); ++i) {
+            if (hb.insts[i].hasDest() && hb.insts[i].dest == p.reg)
+                redefined = true;
+        }
+        if (!redefined) {
+            kind = EntryKind::DirectPred;
+            direct = p;
+        }
+    }
+
+    // Rebuild HB's instruction list: consumed branches are removed; in
+    // the materialized case each is replaced in place by a snapshot of
+    // its condition (the position matters: the predicate register may
+    // be redefined later in program order).
+    std::vector<Vreg> snapshots;
+    std::vector<Instruction> body;
+    body.reserve(hb.insts.size() + s.insts.size() + 4);
+    size_t consumed_cursor = 0;
+    for (size_t i = 0; i < hb.insts.size(); ++i) {
+        bool is_consumed = consumed_cursor < consumed.size() &&
+                           consumed[consumed_cursor] == i;
+        if (!is_consumed) {
+            body.push_back(hb.insts[i]);
+            continue;
+        }
+        ++consumed_cursor;
+        if (kind == EntryKind::Materialized) {
+            const Predicate &p = hb.insts[i].pred;
+            Vreg snap = fn.newVreg();
+            body.push_back(materializeTruth(snap, p.reg, p.onTrue));
+            snapshots.push_back(snap);
+        }
+    }
+
+    // Combine multiple snapshots with an OR chain; the result is the
+    // 0/1 entry condition.
+    Vreg entry_reg = kNoVreg;
+    if (kind == EntryKind::Materialized) {
+        entry_reg = snapshots[0];
+        for (size_t i = 1; i < snapshots.size(); ++i) {
+            Vreg combined = fn.newVreg();
+            body.push_back(Instruction::binary(
+                Opcode::Or, combined, Operand::makeReg(entry_reg),
+                Operand::makeReg(snapshots[i])));
+            entry_reg = combined;
+        }
+    }
+
+    // For AND-combining with S's internal predicates we need the entry
+    // condition as a *value*. Band/Bandc normalize their first operand
+    // (dest = (a != 0) && ...), so a positive-polarity direct predicate
+    // can be used raw; a negated one is materialized once with Teq (at
+    // the head of the appended region -- we verified S does not write
+    // the register).
+    Vreg entry_value = entry_reg;
+    auto entry_value_reg = [&]() -> Vreg {
+        if (entry_value != kNoVreg)
+            return entry_value;
+        CHF_ASSERT(kind == EntryKind::DirectPred,
+                   "entry value requested for Always entry");
+        if (direct.onTrue) {
+            entry_value = direct.reg;
+        } else {
+            entry_value = fn.newVreg();
+            body.push_back(
+                materializeTruth(entry_value, direct.reg, false));
+        }
+        return entry_value;
+    };
+
+    // Cache of folded predicates: (reg, polarity) -> entry && pred,
+    // invalidated when the register is redefined.
+    std::map<std::pair<Vreg, bool>, Vreg> fold_cache;
+
+    for (const Instruction &orig : s.insts) {
+        Instruction inst = orig;
+        if (inst.isBranch())
+            inst.freq *= freq_share;
+
+        if (kind == EntryKind::Always) {
+            // Keep S's own predicate unchanged.
+        } else if (!inst.pred.valid()) {
+            // Unpredicated instruction: guard by the entry condition.
+            if (kind == EntryKind::DirectPred)
+                inst.pred = direct;
+            else
+                inst.pred = Predicate::onReg(entry_reg, true);
+        } else {
+            // Predicated instruction: AND the entry condition with the
+            // instruction's own predicate in a single predicate-algebra
+            // instruction (as TRIPS composes predicates in dataflow).
+            auto key = std::make_pair(inst.pred.reg, inst.pred.onTrue);
+            Vreg folded;
+            auto it = fold_cache.find(key);
+            if (it != fold_cache.end()) {
+                folded = it->second;
+            } else {
+                folded = fn.newVreg();
+                body.push_back(Instruction::binary(
+                    inst.pred.onTrue ? Opcode::Band : Opcode::Bandc,
+                    folded, Operand::makeReg(entry_value_reg()),
+                    Operand::makeReg(inst.pred.reg)));
+                fold_cache[key] = folded;
+            }
+            inst.pred = Predicate::onReg(folded, true);
+        }
+
+        body.push_back(inst);
+
+        // Invalidate cached folds whose source was redefined.
+        if (inst.hasDest()) {
+            fold_cache.erase({inst.dest, true});
+            fold_cache.erase({inst.dest, false});
+        }
+    }
+
+    hb.insts = std::move(body);
+    return true;
+}
+
+} // namespace chf

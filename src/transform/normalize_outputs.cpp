@@ -1,0 +1,70 @@
+#include "transform/normalize_outputs.h"
+
+#include <map>
+
+#include "analysis/liveness.h"
+
+namespace chf {
+
+size_t
+normalizeOutputs(Function &fn, BasicBlock &bb, const BitVector &live_out)
+{
+    // Collect, per live-out register, the predicates of its writers.
+    // Registers with at least one unpredicated writer always produce a
+    // write and need no compensation.
+    std::map<Vreg, std::vector<Predicate>> partial;
+    std::map<Vreg, bool> has_unpred_writer;
+    for (const auto &inst : bb.insts) {
+        if (!inst.hasDest() || inst.dest >= live_out.size() ||
+            !live_out.test(inst.dest)) {
+            continue;
+        }
+        if (!inst.pred.valid())
+            has_unpred_writer[inst.dest] = true;
+        else
+            partial[inst.dest].push_back(inst.pred);
+    }
+
+    size_t appended = 0;
+    (void)fn;
+
+    for (const auto &[reg, preds] : partial) {
+        if (has_unpred_writer.count(reg))
+            continue; // a write always fires
+
+        // Complementary pair covers every path: no compensation needed.
+        if (preds.size() == 2 && preds[0].reg == preds[1].reg &&
+            preds[0].onTrue != preds[1].onTrue) {
+            continue;
+        }
+
+        // One compensating self-move guarded on the complement of the
+        // last writer's predicate. When no writer fired, the last
+        // writer's guard is false, so the null write fires. When an
+        // earlier writer fired but the last did not, both the real
+        // write and the (identity) null write occur -- semantically a
+        // no-op, and the SSA write-merge of the real compiler [24]
+        // costs the same single instruction slot.
+        const Predicate &last = preds.back();
+        Instruction null_write = Instruction::unary(
+            Opcode::Mov, reg, Operand::makeReg(reg));
+        null_write.pred = Predicate::onReg(last.reg, !last.onTrue);
+        bb.append(null_write);
+        ++appended;
+    }
+    return appended;
+}
+
+size_t
+normalizeOutputsFunction(Function &fn)
+{
+    Liveness liveness(fn);
+    size_t total = 0;
+    for (BlockId id : fn.blockIds()) {
+        BasicBlock *bb = fn.block(id);
+        total += normalizeOutputs(fn, *bb, liveness.liveOutOf(fn, *bb));
+    }
+    return total;
+}
+
+} // namespace chf

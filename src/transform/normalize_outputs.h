@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Constant-block-output normalization.
+ *
+ * The TRIPS microarchitecture detects block completion by counting
+ * outputs, so every block must produce a constant number of register
+ * writes and stores plus exactly one branch (paper §2, constraint 4;
+ * guaranteed via SSA in Smith et al. [24]). For every live-out register
+ * whose writes in a block are all predicated, this pass appends a
+ * guarded self-move that fires exactly when no real writer fired, so
+ * one write per output register is produced on every path. The moves
+ * are semantic no-ops; their cost is the size and latency overhead the
+ * paper attributes to tail duplication on EDGE targets.
+ */
+
+#ifndef CHF_TRANSFORM_NORMALIZE_OUTPUTS_H
+#define CHF_TRANSFORM_NORMALIZE_OUTPUTS_H
+
+#include "ir/function.h"
+#include "support/bitvector.h"
+
+namespace chf {
+
+/**
+ * Normalize one block. @return number of instructions appended.
+ */
+size_t normalizeOutputs(Function &fn, BasicBlock &bb,
+                        const BitVector &live_out);
+
+/** Normalize every block of @p fn. @return total appended. */
+size_t normalizeOutputsFunction(Function &fn);
+
+} // namespace chf
+
+#endif // CHF_TRANSFORM_NORMALIZE_OUTPUTS_H

@@ -1,0 +1,50 @@
+#include "transform/optimize.h"
+
+#include "analysis/liveness.h"
+#include "transform/copy_prop.h"
+#include "transform/dce.h"
+#include "transform/gvn.h"
+#include "transform/pred_opt.h"
+
+namespace chf {
+
+size_t
+optimizeBlock(Function &fn, BasicBlock &bb, const BitVector &live_out)
+{
+    size_t total = 0;
+    // Two rounds: predicate merging exposes value-numbering hits and
+    // vice versa; gains beyond two rounds are negligible.
+    for (int round = 0; round < 2; ++round) {
+        size_t changes = 0;
+        changes += copyPropagateBlock(bb);
+        changes += valueNumberBlock(fn, bb);
+        changes += optimizePredicates(bb, live_out);
+        changes += eliminateDeadCode(bb, live_out);
+        changes += coalesceMoves(bb, live_out);
+        total += changes;
+        if (changes == 0)
+            break;
+    }
+    return total;
+}
+
+size_t
+optimizeFunction(Function &fn)
+{
+    size_t total = 0;
+    for (int round = 0; round < 3; ++round) {
+        size_t changes = 0;
+        changes += copyPropagateFunction(fn);
+        changes += valueNumberFunction(fn);
+        changes += valueNumberFunctionDominator(fn);
+        changes += optimizePredicatesFunction(fn);
+        changes += eliminateDeadCodeFunction(fn);
+        changes += coalesceMovesFunction(fn);
+        total += changes;
+        if (changes == 0)
+            break;
+    }
+    return total;
+}
+
+} // namespace chf

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The Optimize step of MergeBlocks (paper Fig. 5) and the discrete "O"
+ * phase: a short pipeline of copy propagation, value numbering,
+ * predicate optimization, and dead code elimination.
+ */
+
+#ifndef CHF_TRANSFORM_OPTIMIZE_H
+#define CHF_TRANSFORM_OPTIMIZE_H
+
+#include "ir/function.h"
+#include "support/bitvector.h"
+
+namespace chf {
+
+/**
+ * Optimize a single block in place given its live-out set. Used on the
+ * scratch merged block inside MergeBlocks. @return total changes.
+ */
+size_t optimizeBlock(Function &fn, BasicBlock &bb,
+                     const BitVector &live_out);
+
+/**
+ * Whole-function scalar optimization (the discrete "O" phase of the
+ * paper's pipelines). @return total changes.
+ */
+size_t optimizeFunction(Function &fn);
+
+} // namespace chf
+
+#endif // CHF_TRANSFORM_OPTIMIZE_H

@@ -1,0 +1,207 @@
+#include "transform/pred_opt.h"
+
+#include <map>
+#include <optional>
+
+#include "analysis/liveness.h"
+
+namespace chf {
+
+namespace {
+
+/**
+ * Merge identical pure instructions under complementary predicates.
+ * For a pair i < j with the same op/dest/srcs and predicates
+ * (p,true)/(p,false), no write in (i, j) may touch the destination,
+ * any source, or p itself; then i runs unpredicated and j disappears.
+ */
+size_t
+mergeComplementary(BasicBlock &bb)
+{
+    size_t merged = 0;
+    for (size_t i = 0; i < bb.insts.size(); ++i) {
+        Instruction &a = bb.insts[i];
+        if (!a.pred.valid() || !opcodeIsPure(a.op) ||
+            a.op == Opcode::Load || !a.hasDest()) {
+            continue;
+        }
+        for (size_t j = i + 1; j < bb.insts.size(); ++j) {
+            Instruction &b = bb.insts[j];
+            if (b.op != a.op || b.dest != a.dest || b.srcs != a.srcs)
+                continue;
+            if (!b.pred.valid() || b.pred.reg != a.pred.reg ||
+                b.pred.onTrue == a.pred.onTrue) {
+                continue;
+            }
+            // Check for interference between the pair: no write may
+            // touch the destination, a source, or the predicate, and
+            // nothing may read the destination (it would observe the
+            // hoisted value too early on the complementary path).
+            bool clobbered = false;
+            for (size_t k = i + 1; k < j && !clobbered; ++k) {
+                const Instruction &mid = bb.insts[k];
+                mid.forEachUse([&](Vreg v) {
+                    if (v == a.dest)
+                        clobbered = true;
+                });
+                if (!mid.hasDest())
+                    continue;
+                if (mid.dest == a.dest || mid.dest == a.pred.reg)
+                    clobbered = true;
+                for (int s = 0; s < a.numSrcs(); ++s) {
+                    if (a.srcs[s].isReg() && a.srcs[s].reg == mid.dest)
+                        clobbered = true;
+                }
+            }
+            if (clobbered)
+                break;
+            a.pred = Predicate::always();
+            bb.insts.erase(bb.insts.begin() + j);
+            ++merged;
+            break;
+        }
+    }
+    return merged;
+}
+
+/** Requirement a register's producers must satisfy to drop predicates. */
+struct Requirement
+{
+    enum class Kind { NoReaders, Single, Conflict };
+    Kind kind = Kind::NoReaders;
+    Predicate pred;
+
+    void
+    impose(const Predicate &p)
+    {
+        if (!p.valid()) {
+            kind = Kind::Conflict;
+            return;
+        }
+        switch (kind) {
+          case Kind::NoReaders:
+            kind = Kind::Single;
+            pred = p;
+            break;
+          case Kind::Single:
+            if (!(pred == p))
+                kind = Kind::Conflict;
+            break;
+          case Kind::Conflict:
+            break;
+        }
+    }
+};
+
+/**
+ * Drop predicates of chain-interior instructions (implicit
+ * predication). See the header comment for the safety argument.
+ */
+size_t
+dropImplicit(BasicBlock &bb, const BitVector &live_out)
+{
+    size_t nv = live_out.size();
+
+    // Registers read as predicates anywhere must always hold valid
+    // truth values, so their producers keep their guards.
+    std::vector<uint8_t> used_as_pred(nv, 0);
+    for (const auto &inst : bb.insts) {
+        if (inst.pred.valid() && inst.pred.reg < nv)
+            used_as_pred[inst.pred.reg] = 1;
+    }
+
+    // Reverse walk: needs[v] is the guard every *observer* of a write
+    // to v (at the current position) is known to carry. Live-out
+    // registers are observed unconditionally by later blocks.
+    std::map<Vreg, Requirement> needs;
+    for (uint32_t v = 0; v < nv; ++v) {
+        if (live_out.test(v))
+            needs[v].impose(Predicate::always());
+    }
+
+    size_t dropped = 0;
+
+    for (size_t i = bb.insts.size(); i-- > 0;) {
+        Instruction &inst = bb.insts[i];
+
+        // The requirement this instruction's reads impose is its guard
+        // before any modification (if we drop it below, the original
+        // guard still bounds when the value is consumed).
+        Predicate original_guard = inst.pred;
+
+        // Handle the write first (we are walking backwards, so this
+        // decides droppability from the constraints of later readers).
+        if (inst.hasDest() && inst.dest < nv) {
+            auto it = needs.find(inst.dest);
+            Requirement req = it == needs.end() ? Requirement{}
+                                                : it->second;
+
+            // Loads may be unguarded too (speculative issue): they do
+            // not change memory, out-of-image reads return zero, and
+            // the stale-address result is only seen by guarded
+            // consumers.
+            bool droppable =
+                inst.pred.valid() &&
+                (opcodeIsPure(inst.op) || inst.op == Opcode::Load) &&
+                !used_as_pred[inst.dest] &&
+                (req.kind == Requirement::Kind::NoReaders ||
+                 (req.kind == Requirement::Kind::Single &&
+                  req.pred == inst.pred));
+            if (droppable) {
+                inst.pred = Predicate::always();
+                ++dropped;
+            }
+
+            // Earlier writes are observable through this one only when
+            // this write may not fire and a later reader is not
+            // guarded by the same predicate. An unpredicated write
+            // hides everything above; a predicated write whose guard
+            // matches every later reader also hides them (reader fires
+            // => this write fired). Otherwise constraints persist
+            // conservatively.
+            if (!inst.pred.valid()) {
+                needs.erase(inst.dest);
+            } else if (req.kind == Requirement::Kind::NoReaders ||
+                       (req.kind == Requirement::Kind::Single &&
+                        req.pred == inst.pred)) {
+                needs.erase(inst.dest);
+            }
+            // else: keep the accumulated requirement.
+        }
+
+        // Impose requirements for this instruction's reads.
+        for (int s = 0; s < inst.numSrcs(); ++s) {
+            if (inst.srcs[s].isReg())
+                needs[inst.srcs[s].reg].impose(original_guard);
+        }
+        // A predicate register is evaluated unconditionally.
+        if (inst.pred.valid())
+            needs[inst.pred.reg].impose(Predicate::always());
+    }
+    return dropped;
+}
+
+} // namespace
+
+size_t
+optimizePredicates(BasicBlock &bb, const BitVector &live_out)
+{
+    size_t changes = 0;
+    changes += mergeComplementary(bb);
+    changes += dropImplicit(bb, live_out);
+    return changes;
+}
+
+size_t
+optimizePredicatesFunction(Function &fn)
+{
+    Liveness liveness(fn);
+    size_t total = 0;
+    for (BlockId id : fn.blockIds()) {
+        BasicBlock *bb = fn.block(id);
+        total += optimizePredicates(*bb, liveness.liveOutOf(fn, *bb));
+    }
+    return total;
+}
+
+} // namespace chf

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reverse if-conversion by block splitting.
+ *
+ * When the register allocator inserts spill code that pushes a block
+ * over the structural constraints, the compiler must shrink the block
+ * (paper §6). This pass splits an oversized block into a chain of
+ * legal blocks: non-branch instructions are distributed in program
+ * order and all branches move to the final block (earlier parts end in
+ * an unconditional jump to the next part). Branch predicates whose
+ * registers are redefined after the branch's original position are
+ * snapshotted first, so deferring the branch cannot change which exit
+ * fires.
+ */
+
+#ifndef CHF_TRANSFORM_REVERSE_IF_CONVERT_H
+#define CHF_TRANSFORM_REVERSE_IF_CONVERT_H
+
+#include "hyperblock/constraints.h"
+#include "ir/function.h"
+
+namespace chf {
+
+/**
+ * Split @p id into a chain of blocks each obeying @p constraints.
+ * @return number of new blocks created (0 when no split needed).
+ */
+size_t splitBlock(Function &fn, BlockId id,
+                  const TripsConstraints &constraints);
+
+/**
+ * Split @p id into exactly two blocks: the first keeps the id and
+ * roughly the first @p first_insts non-branch instructions (ending in
+ * an unconditional jump to the second part); all branches move to the
+ * second part, predicates snapshotted as needed. Used by basic-block
+ * splitting during formation (paper §9): when a candidate is too large
+ * to merge whole, merge its first piece.
+ *
+ * @return the id of the second part, or kNoBlock when the block is too
+ * small to split usefully.
+ */
+BlockId splitBlockAt(Function &fn, BlockId id, size_t first_insts);
+
+/** Split every oversized block in @p fn. @return blocks created. */
+size_t splitOversizedBlocks(Function &fn,
+                            const TripsConstraints &constraints);
+
+} // namespace chf
+
+#endif // CHF_TRANSFORM_REVERSE_IF_CONVERT_H

@@ -1,0 +1,178 @@
+#include "transform/simplify_cfg.h"
+
+#include "transform/cfg_utils.h"
+
+namespace chf {
+
+namespace {
+
+/** A's sole branch is one unpredicated Br; B is its only successor. */
+bool
+isTrivialJump(const BasicBlock &bb, BlockId &target)
+{
+    size_t branches = 0;
+    for (const auto &inst : bb.insts) {
+        if (inst.isBranch()) {
+            ++branches;
+            if (inst.op != Opcode::Br || inst.pred.valid())
+                return false;
+            target = inst.target;
+        }
+    }
+    return branches == 1;
+}
+
+/** Merge B into A when A ends in an unconditional jump to B and B has
+ *  no other predecessors. */
+size_t
+mergeChains(Function &fn)
+{
+    size_t changes = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        PredecessorMap preds = fn.predecessors();
+        for (BlockId id : fn.blockIds()) {
+            BasicBlock *a = fn.block(id);
+            BlockId target = kNoBlock;
+            if (!isTrivialJump(*a, target))
+                continue;
+            if (target == id || target == fn.entry())
+                continue;
+            if (preds[target].size() != 1)
+                continue;
+            BasicBlock *b = fn.block(target);
+            // Remove A's jump, append B, delete B.
+            std::vector<Instruction> merged;
+            for (const auto &inst : a->insts) {
+                if (!(inst.op == Opcode::Br && inst.target == target))
+                    merged.push_back(inst);
+            }
+            for (const auto &inst : b->insts)
+                merged.push_back(inst);
+            a->insts = std::move(merged);
+            fn.removeBlock(target);
+            ++changes;
+            changed = true;
+            break; // predecessor map is stale; recompute
+        }
+    }
+    return changes;
+}
+
+/** Redirect branches through blocks that only jump elsewhere. */
+size_t
+forwardEmptyBlocks(Function &fn)
+{
+    size_t changes = 0;
+    for (BlockId id : fn.blockIds()) {
+        BasicBlock *b = fn.block(id);
+        if (b->insts.size() != 1 || id == fn.entry())
+            continue;
+        const Instruction &jump = b->insts[0];
+        if (jump.op != Opcode::Br || jump.pred.valid() ||
+            jump.target == id) {
+            continue;
+        }
+        BlockId target = jump.target;
+        for (BlockId pred : fn.blockIds()) {
+            if (pred == id)
+                continue;
+            BasicBlock *p = fn.block(pred);
+            for (auto &inst : p->insts) {
+                if (inst.op == Opcode::Br && inst.target == id) {
+                    inst.target = target;
+                    ++changes;
+                }
+            }
+        }
+    }
+    return changes;
+}
+
+/**
+ * Resolve conditional branches whose predicate register is last
+ * defined by an unpredicated constant move in the same block.
+ */
+size_t
+foldConstantBranches(Function &fn)
+{
+    size_t changes = 0;
+    for (BlockId id : fn.blockIds()) {
+        BasicBlock *bb = fn.block(id);
+        // Forward scan tracking unpredicated constant moves; a branch
+        // predicate is resolvable if the constant holds at the branch's
+        // position in program order.
+        std::vector<std::pair<Vreg, int64_t>> consts;
+        auto known = [&](Vreg v) -> const int64_t * {
+            for (auto &[reg, value] : consts) {
+                if (reg == v)
+                    return &value;
+            }
+            return nullptr;
+        };
+
+        bool block_changed = false;
+        std::vector<Instruction> kept;
+        for (auto &inst : bb->insts) {
+            bool drop = false;
+            if (inst.isBranch() && inst.pred.valid()) {
+                if (const int64_t *value = known(inst.pred.reg)) {
+                    bool fires = inst.pred.onTrue ? *value != 0
+                                                  : *value == 0;
+                    if (!fires) {
+                        drop = true; // never taken
+                    } else {
+                        inst.pred = Predicate::always();
+                    }
+                    block_changed = true;
+                }
+            }
+            if (!drop)
+                kept.push_back(inst);
+            if (inst.hasDest()) {
+                for (auto it = consts.begin(); it != consts.end();) {
+                    it = it->first == inst.dest ? consts.erase(it)
+                                                : it + 1;
+                }
+                if (inst.op == Opcode::Mov && !inst.pred.valid() &&
+                    inst.srcs[0].isImm()) {
+                    consts.emplace_back(inst.dest, inst.srcs[0].imm);
+                }
+            }
+        }
+        // Never leave a block branchless (a statically reachable but
+        // dynamically dead block could otherwise fail verification).
+        bool has_branch = false;
+        for (const auto &inst : kept) {
+            if (inst.isBranch())
+                has_branch = true;
+        }
+        if (block_changed && has_branch) {
+            bb->insts = std::move(kept);
+            ++changes;
+        }
+    }
+    return changes;
+}
+
+} // namespace
+
+size_t
+simplifyCfg(Function &fn)
+{
+    size_t total = 0;
+    for (int round = 0; round < 10; ++round) {
+        size_t changes = 0;
+        changes += foldConstantBranches(fn);
+        changes += forwardEmptyBlocks(fn);
+        changes += mergeChains(fn);
+        changes += fn.removeUnreachable();
+        total += changes;
+        if (changes == 0)
+            break;
+    }
+    return total;
+}
+
+} // namespace chf

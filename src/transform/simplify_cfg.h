@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Classical CFG cleanup run after lowering and between phases: merges
+ * straight-line block chains, forwards branches through empty blocks,
+ * folds constant-condition branches, and removes unreachable blocks.
+ * Defines the basic-block structure of the paper's "BB" baseline.
+ */
+
+#ifndef CHF_TRANSFORM_SIMPLIFY_CFG_H
+#define CHF_TRANSFORM_SIMPLIFY_CFG_H
+
+#include "ir/function.h"
+
+namespace chf {
+
+/** Simplify @p fn to a fixed point. @return number of changes made. */
+size_t simplifyCfg(Function &fn);
+
+} // namespace chf
+
+#endif // CHF_TRANSFORM_SIMPLIFY_CFG_H

@@ -1,0 +1,28 @@
+#include "transform/tail_duplicate.h"
+
+#include "transform/cfg_utils.h"
+
+namespace chf {
+
+BlockId
+tailDuplicateCfg(Function &fn, BlockId from, BlockId s)
+{
+    BasicBlock *from_block = fn.block(from);
+    BasicBlock *s_block = fn.block(s);
+    if (!from_block || !s_block)
+        return kNoBlock;
+    if (branchesTo(*from_block, s).empty())
+        return kNoBlock;
+
+    double share = entryShare(*from_block, *s_block);
+
+    BasicBlock *copy = fn.newBlock(s_block->name() + "_tail");
+    copy->insts = s_block->insts;
+    scaleBranchFreqs(*copy, share);
+    scaleBranchFreqs(*s_block, 1.0 - share);
+
+    redirectBranches(*from_block, s, copy->id());
+    return copy->id();
+}
+
+} // namespace chf

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Standalone (CFG-level) tail duplication, the classical VLIW form: to
+ * remove a side entrance into a trace, the merge-point block is copied
+ * and the trace's branch redirected to the copy (paper §4.1, Fig. 2b-d,
+ * before if-conversion). The EDGE form -- duplicate *and* predicate --
+ * is performed by the merge engine; this pass exists for CFG-level
+ * restructuring such as the discrete unroll/peel phase.
+ */
+
+#ifndef CHF_TRANSFORM_TAIL_DUPLICATE_H
+#define CHF_TRANSFORM_TAIL_DUPLICATE_H
+
+#include "ir/function.h"
+
+namespace chf {
+
+/**
+ * Duplicate block @p s and redirect the branches of @p from that
+ * target @p s to the copy. The copy's outgoing branches keep their
+ * original targets. @return the new block id, or kNoBlock if @p from
+ * does not branch to @p s.
+ */
+BlockId tailDuplicateCfg(Function &fn, BlockId from, BlockId s);
+
+} // namespace chf
+
+#endif // CHF_TRANSFORM_TAIL_DUPLICATE_H

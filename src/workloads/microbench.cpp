@@ -1,0 +1,767 @@
+/**
+ * @file
+ * The 24 microbenchmarks of Tables 1 and 2.
+ *
+ * Each TinyC program reproduces the control-flow structure the paper
+ * attributes to its namesake (see each `note`); results are checksums
+ * so the semantic-preservation tests can compare configurations.
+ */
+
+#include "workloads/workloads.h"
+
+namespace chf {
+
+const std::vector<Workload> &
+microbenchmarks()
+{
+    static const std::vector<Workload> suite = {
+
+        {"ammp_1",
+         "outer loop over atoms; inner while loop with low, "
+         "data-dependent trip count (the paper's best head-duplication "
+         "candidate)",
+         R"(
+int nb[256];
+int val[256];
+int main() {
+  int seed = 7;
+  for (int i = 0; i < 256; i += 1) {
+    seed = (seed * 1103515245 + 12345) % 2048;
+    nb[i] = seed % 4;          // neighbor counts 0..3
+    val[i] = seed % 97;
+  }
+  int energy = 0;
+  for (int a = 0; a < 256; a += 1) {
+    int k = 0;
+    while (k < nb[a]) {        // while loop, ~1.5 mean trips
+      energy += (val[a] * (k + 3)) % 251;
+      k += 1;
+    }
+    energy += val[a];
+  }
+  return energy;
+}
+)",
+         {},
+         nullptr},
+
+        {"ammp_2",
+         "two sequential low-trip while loops per outer iteration",
+         R"(
+int na[200];
+int nbq[200];
+int q[200];
+int main() {
+  int seed = 3;
+  for (int i = 0; i < 200; i += 1) {
+    seed = (seed * 75 + 74) % 65537;
+    na[i] = seed % 3;
+    nbq[i] = (seed / 3) % 4;
+    q[i] = seed % 113;
+  }
+  int force = 0;
+  for (int a = 0; a < 200; a += 1) {
+    int j = 0;
+    while (j < na[a]) { force += q[a] * j; j += 1; }
+    int k = 0;
+    while (k < nbq[a]) { force += (q[a] + k) % 127; k += 1; }
+  }
+  return force;
+}
+)",
+         {},
+         nullptr},
+
+        {"art_1",
+         "neural-net f1 layer scan: weighted sum with a conditional "
+         "clamp on each element",
+         R"(
+int wgt[512];
+int inp[512];
+int main() {
+  int seed = 11;
+  for (int i = 0; i < 512; i += 1) {
+    seed = (seed * 1103515245 + 12345) % 4096;
+    wgt[i] = seed % 200 - 100;
+    inp[i] = (seed / 5) % 50;
+  }
+  int sum = 0;
+  for (int r = 0; r < 12; r += 1) {
+    for (int i = 0; i < 512; i += 1) {
+      int p = wgt[i] * inp[i];
+      if (p < 0) { p = 0; }     // reset-on-negative
+      sum += p;
+    }
+  }
+  return sum % 100000;
+}
+)",
+         {},
+         nullptr},
+
+        {"art_2",
+         "winner-take-all max-index search (compare-and-update branch)",
+         R"(
+int f2[400];
+int main() {
+  int seed = 5;
+  for (int i = 0; i < 400; i += 1) {
+    seed = (seed * 69069 + 1) % 32768;
+    f2[i] = seed;
+  }
+  int winner = 0;
+  for (int pass = 0; pass < 20; pass += 1) {
+    int best = 0; int besti = 0;
+    for (int i = 0; i < 400; i += 1) {
+      if (f2[i] > best) { best = f2[i]; besti = i; }
+    }
+    winner += besti;
+    f2[besti] = 0;
+  }
+  return winner;
+}
+)",
+         {},
+         nullptr},
+
+        {"art_3",
+         "normalization loop whose body mixes a guarded divide with "
+         "accumulation",
+         R"(
+int act[300];
+int main() {
+  int seed = 17;
+  for (int i = 0; i < 300; i += 1) {
+    seed = (seed * 25173 + 13849) % 65536;
+    act[i] = seed % 1000;
+  }
+  int norm = 0;
+  for (int r = 0; r < 15; r += 1) {
+    int total = 1;
+    for (int i = 0; i < 300; i += 1) { total += act[i]; }
+    for (int i = 0; i < 300; i += 1) {
+      int scaled = act[i] * 4096 / total;
+      if (scaled > 2048) { scaled = 2048; }
+      norm += scaled;
+    }
+  }
+  return norm % 999983;
+}
+)",
+         {},
+         nullptr},
+
+        {"bzip2_1",
+         "byte-frequency counting with a run-length inner while",
+         R"(
+int data[1024];
+int freq[256];
+int main() {
+  int seed = 23;
+  for (int i = 0; i < 1024; i += 1) {
+    seed = (seed * 1103515245 + 12345) % 100000;
+    data[i] = (seed / 7) % 256;
+  }
+  int i = 0;
+  int runs = 0;
+  while (i < 1024) {
+    int b = data[i];
+    freq[b] += 1;
+    int j = i + 1;
+    while (j < 1024 && data[j] == b) { j += 1; }  // short runs
+    runs += j - i;
+    i = j;
+  }
+  int sum = runs;
+  for (int k = 0; k < 256; k += 1) { sum += freq[k] * k; }
+  return sum % 1000003;
+}
+)",
+         {},
+         nullptr},
+
+        {"bzip2_2",
+         "comparison-heavy inner loop with data-dependent swaps "
+         "(shell-sort fragment)",
+         R"(
+int arr[256];
+int main() {
+  int seed = 31;
+  for (int i = 0; i < 256; i += 1) {
+    seed = (seed * 69069 + 5) % 65536;
+    arr[i] = seed;
+  }
+  int gap = 128;
+  int moves = 0;
+  while (gap > 0) {
+    for (int i = gap; i < 256; i += 1) {
+      int v = arr[i];
+      int j = i;
+      while (j >= gap && arr[j - gap] > v) {
+        arr[j] = arr[j - gap];
+        j -= gap;
+        moves += 1;
+      }
+      arr[j] = v;
+    }
+    gap /= 2;
+  }
+  return moves + arr[0] + arr[255];
+}
+)",
+         {},
+         nullptr},
+
+        {"bzip2_3",
+         "main loop with an infrequently taken side block; the loop's "
+         "final block holds the induction update, so excluding the side "
+         "block forces tail duplication of the increment (the paper's "
+         "depth-first/VLIW pathology)",
+         R"(
+int data[2048];
+int out[2048];
+int main() {
+  int seed = 41;
+  for (int i = 0; i < 2048; i += 1) {
+    seed = (seed * 1103515245 + 12345) % 100000;
+    data[i] = seed % 16;
+  }
+  int i = 0;
+  int acc = 0;
+  while (i < 2048) {
+    int v = data[i];
+    if (v == 0) {              // rare (~6%) but bulky: excluding it
+      int r0 = data[(i + 7) % 2048];     // leaves no room to merge,
+      int r1 = data[(i + 19) % 2048];    // so depth-first must tail-
+      int r2 = data[(i + 37) % 2048];    // duplicate the merge block
+      int r3 = data[(i + 53) % 2048];    // holding the increment
+      int h = r0 * 3 + r1 * 5 + r2 * 7 + r3 * 11;
+      h = (h ^ (h >> 4)) % 8191;
+      h = h * 31 + (r0 & r1) - (r2 | r3);
+      h = (h + i * 13) % 65521;
+      h = h * h % 32749;
+      h = (h << 2) - (h >> 3) + r0 * r3 - r1 * r2;
+      acc += h % 509;
+      out[i % 2048] = acc;
+      out[(i + 1) % 2048] = h;
+    }
+    acc += v;
+    i += 1;                    // induction update in the merge block
+  }
+  return acc;
+}
+)",
+         {},
+         nullptr},
+
+        {"dct8x8",
+         "8x8 integer DCT-like transform: dense counted loops, fully "
+         "unrollable by the front end",
+         R"(
+int blockin[64];
+int coeff[64];
+int blockout[64];
+int main() {
+  int seed = 4;
+  for (int i = 0; i < 64; i += 1) {
+    seed = (seed * 75 + 74) % 65537;
+    blockin[i] = seed % 256 - 128;
+    coeff[i] = (seed % 17) - 8;
+  }
+  for (int rep = 0; rep < 16; rep += 1) {
+    for (int u = 0; u < 8; u += 1) {
+      for (int x = 0; x < 8; x += 1) {
+        int s = 0;
+        for (int k = 0; k < 8; k += 1) {
+          s += blockin[u * 8 + k] * coeff[k * 8 + x];
+        }
+        blockout[u * 8 + x] = s >> 3;
+      }
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < 64; i += 1) { sum += blockout[i]; }
+  return sum;
+}
+)",
+         {},
+         nullptr},
+
+        {"dhry",
+         "Dhrystone-like mix: inlined calls, record copies, character "
+         "scans, and small conditionals",
+         R"(
+int rec_a[16];
+int rec_b[16];
+int strbuf[32];
+int ident(int x) { return x; }
+int func1(int ch1, int ch2) {
+  if (ch1 == ch2) { return 0; }
+  return 1;
+}
+int func2(int pos) {
+  int ch = strbuf[pos];
+  if (func1(ch, 65) == 0) { return 1; }
+  if (ch > 77) { return 2; }
+  return 3;
+}
+int proc(int x) {
+  if (x > 100) { return x - 100; }
+  if (x > 50)  { return x - 50; }
+  return x + 1;
+}
+int main() {
+  for (int i = 0; i < 32; i += 1) { strbuf[i] = 65 + (i * 7) % 26; }
+  int result = 0;
+  for (int run = 0; run < 400; run += 1) {
+    for (int i = 0; i < 16; i += 1) { rec_a[i] = run + i; }
+    for (int i = 0; i < 16; i += 1) { rec_b[i] = rec_a[i]; }
+    result += ident(rec_b[run % 16]);
+    result += func2(run % 32);
+    result = proc(result);
+  }
+  return result;
+}
+)",
+         {},
+         nullptr},
+
+        {"doppler_GMTI",
+         "GMTI doppler filtering: complex multiply-accumulate over "
+         "interleaved re/im vectors",
+         R"(
+int sig_re[256];
+int sig_im[256];
+int w_re[256];
+int w_im[256];
+int main() {
+  int seed = 9;
+  for (int i = 0; i < 256; i += 1) {
+    seed = (seed * 1103515245 + 12345) % 65536;
+    sig_re[i] = seed % 200 - 100;
+    sig_im[i] = (seed / 3) % 200 - 100;
+    w_re[i] = (seed / 7) % 64 - 32;
+    w_im[i] = (seed / 11) % 64 - 32;
+  }
+  int acc_re = 0; int acc_im = 0;
+  for (int ch = 0; ch < 24; ch += 1) {
+    for (int i = 0; i < 256; i += 1) {
+      int ar = sig_re[i]; int ai = sig_im[i];
+      int br = w_re[i];  int bi = w_im[i];
+      acc_re += ar * br - ai * bi;
+      acc_im += ar * bi + ai * br;
+    }
+  }
+  return (acc_re % 100000) + (acc_im % 1000);
+}
+)",
+         {},
+         nullptr},
+
+        {"equake_1",
+         "sparse matrix-vector product with index indirection",
+         R"(
+int colidx[1200];
+int a[1200];
+int x[300];
+int y[300];
+int rowptr[301];
+int main() {
+  int seed = 13;
+  for (int i = 0; i < 300; i += 1) { x[i] = i % 19 + 1; }
+  for (int r = 0; r <= 300; r += 1) { rowptr[r] = r * 4; }
+  for (int i = 0; i < 1200; i += 1) {
+    seed = (seed * 69069 + 7) % 65536;
+    colidx[i] = seed % 300;
+    a[i] = seed % 40 - 20;
+  }
+  for (int rep = 0; rep < 20; rep += 1) {
+    for (int r = 0; r < 300; r += 1) {
+      int s = 0;
+      for (int k = rowptr[r]; k < rowptr[r + 1]; k += 1) {
+        s += a[k] * x[colidx[k]];
+      }
+      y[r] = s;
+    }
+  }
+  int sum = 0;
+  for (int r = 0; r < 300; r += 1) { sum += y[r]; }
+  return sum;
+}
+)",
+         {},
+         nullptr},
+
+        {"fft2_GMTI",
+         "radix-2 butterfly passes: strided for loops whose residual "
+         "test head duplication can merge (helps slightly in the paper)",
+         R"(
+int re[256];
+int im[256];
+int main() {
+  int seed = 29;
+  for (int i = 0; i < 256; i += 1) {
+    seed = (seed * 75 + 74) % 65537;
+    re[i] = seed % 128 - 64;
+    im[i] = (seed / 5) % 128 - 64;
+  }
+  int span = 128;
+  while (span >= 1) {
+    for (int start = 0; start < 256; start += span * 2) {
+      for (int k = 0; k < span; k += 1) {
+        int i0 = start + k;
+        int i1 = i0 + span;
+        int tr = re[i0] - re[i1];
+        int ti = im[i0] - im[i1];
+        re[i0] = (re[i0] + re[i1]) >> 1;
+        im[i0] = (im[i0] + im[i1]) >> 1;
+        re[i1] = tr >> 1;
+        im[i1] = ti >> 1;
+      }
+    }
+    span /= 2;
+  }
+  int sum = 0;
+  for (int i = 0; i < 256; i += 1) { sum += re[i] * 3 + im[i]; }
+  return sum;
+}
+)",
+         {},
+         nullptr},
+
+        {"fft4_GMTI",
+         "radix-4 butterflies: wider straight-line bodies, shallower "
+         "loop nest",
+         R"(
+int re[256];
+int im[256];
+int main() {
+  int seed = 37;
+  for (int i = 0; i < 256; i += 1) {
+    seed = (seed * 1103515245 + 12345) % 65536;
+    re[i] = seed % 100 - 50;
+    im[i] = (seed / 9) % 100 - 50;
+  }
+  int span = 64;
+  while (span >= 1) {
+    for (int start = 0; start < 256; start += span * 4) {
+      for (int k = 0; k < span; k += 1) {
+        int a = start + k; int b = a + span;
+        int c = b + span;  int d = c + span;
+        int s0 = re[a] + re[c]; int s1 = re[b] + re[d];
+        int d0 = re[a] - re[c]; int d1 = im[b] - im[d];
+        re[a] = (s0 + s1) >> 2;
+        re[b] = (d0 + d1) >> 2;
+        re[c] = (s0 - s1) >> 2;
+        re[d] = (d0 - d1) >> 2;
+        int t0 = im[a] + im[c]; int t1 = im[b] + im[d];
+        int u0 = im[a] - im[c]; int u1 = re[d] - re[b];
+        im[a] = (t0 + t1) >> 2;
+        im[b] = (u0 + u1) >> 2;
+        im[c] = (t0 - t1) >> 2;
+        im[d] = (u0 - u1) >> 2;
+      }
+    }
+    span /= 4;
+  }
+  int sum = 0;
+  for (int i = 0; i < 256; i += 1) { sum += re[i] + im[i] * 2; }
+  return sum;
+}
+)",
+         {},
+         nullptr},
+
+        {"forward_GMTI",
+         "FIR forward filter: dense multiply-accumulate over a sliding "
+         "window",
+         R"(
+int samples[512];
+int taps[16];
+int filtered[512];
+int main() {
+  int seed = 43;
+  for (int i = 0; i < 512; i += 1) {
+    seed = (seed * 69069 + 3) % 65536;
+    samples[i] = seed % 256 - 128;
+  }
+  for (int t = 0; t < 16; t += 1) { taps[t] = (t * 13) % 31 - 15; }
+  for (int rep = 0; rep < 8; rep += 1) {
+    for (int i = 16; i < 512; i += 1) {
+      int acc = 0;
+      for (int t = 0; t < 16; t += 1) {
+        acc += samples[i - t] * taps[t];
+      }
+      filtered[i] = acc >> 4;
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < 512; i += 1) { sum += filtered[i]; }
+  return sum;
+}
+)",
+         {},
+         nullptr},
+
+        {"gzip_1",
+         "longest-match inner loop: a while with compound (&&) exit "
+         "conditions that (IUPO) packs into one block in the paper",
+         R"(
+int window[2048];
+int main() {
+  int seed = 47;
+  for (int i = 0; i < 2048; i += 1) {
+    seed = (seed * 1103515245 + 12345) % 100000;
+    window[i] = seed % 8;            // small alphabet -> real matches
+  }
+  int best = 0;
+  for (int pos = 512; pos < 1536; pos += 3) {
+    for (int cand = pos - 64; cand < pos; cand += 7) {
+      int len = 0;
+      while (len < 32 && window[cand + len] == window[pos + len]) {
+        len += 1;
+      }
+      if (len > best) { best = len; }
+    }
+  }
+  return best;
+}
+)",
+         {},
+         nullptr},
+
+        {"gzip_2",
+         "hash-chain insertion loop with conditional chain resets",
+         R"(
+int text[1024];
+int headtab[64];
+int prevtab[1024];
+int main() {
+  int seed = 53;
+  for (int i = 0; i < 1024; i += 1) {
+    seed = (seed * 75 + 74) % 65537;
+    text[i] = seed % 32;
+  }
+  for (int h = 0; h < 64; h += 1) { headtab[h] = 0 - 1; }
+  int chains = 0;
+  for (int i = 0; i < 1021; i += 1) {
+    int h = (text[i] * 4 + text[i + 1] * 2 + text[i + 2]) % 64;
+    int prev = headtab[h];
+    if (prev >= 0) {
+      prevtab[i] = prev;
+      chains += 1;
+    } else {
+      prevtab[i] = i;
+    }
+    headtab[h] = i;
+  }
+  int sum = chains;
+  for (int i = 0; i < 1021; i += 1) { sum += prevtab[i] % 7; }
+  return sum;
+}
+)",
+         {},
+         nullptr},
+
+        {"matrix_1",
+         "the 10x10 integer matrix multiply of the paper",
+         R"(
+int A[100];
+int B[100];
+int C[100];
+int main() {
+  for (int i = 0; i < 100; i += 1) {
+    A[i] = (i * 7) % 13 - 6;
+    B[i] = (i * 11) % 17 - 8;
+  }
+  for (int rep = 0; rep < 40; rep += 1) {
+    for (int i = 0; i < 10; i += 1) {
+      for (int j = 0; j < 10; j += 1) {
+        int s = 0;
+        for (int k = 0; k < 10; k += 1) {
+          s += A[i * 10 + k] * B[k * 10 + j];
+        }
+        C[i * 10 + j] = s;
+      }
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < 100; i += 1) { sum += C[i]; }
+  return sum;
+}
+)",
+         {},
+         nullptr},
+
+        {"parser_1",
+         "loop with several rarely taken, long-dependence-height paths: "
+         "the VLIW heuristic excludes them and pays an 11x misprediction "
+         "increase in the paper",
+         R"(
+int tokens[1024];
+int table[256];
+int main() {
+  int seed = 59;
+  for (int i = 0; i < 1024; i += 1) {
+    seed = (seed * 1103515245 + 12345) % 100000;
+    tokens[i] = seed % 64;
+  }
+  for (int i = 0; i < 256; i += 1) { table[i] = (i * 37) % 101; }
+  int score = 0;
+  for (int rep = 0; rep < 6; rep += 1) {
+    for (int i = 0; i < 1024; i += 1) {
+      int t = tokens[i];
+      if (t == 0) {                     // ~1.5%: deep dependent chain
+        int x = table[(i + rep) % 256];
+        x = x * 17 + 3; x = x / 5 + x % 7; x = x * x % 251;
+        score += x;
+      } else if (t == 1) {              // ~1.5%: another deep chain
+        int y = table[(i * 3) % 256];
+        y = y / 3 + 11; y = y * 13 % 509; y = y + y / 2;
+        score += y;
+      } else {
+        score += t;                     // hot path: trivial
+      }
+    }
+  }
+  return score;
+}
+)",
+         {},
+         nullptr},
+
+        {"sieve",
+         "the prime sieve of the paper: flag clearing with a strided "
+         "inner loop and a count loop",
+         R"(
+int flags[2048];
+int main() {
+  int count = 0;
+  for (int rep = 0; rep < 4; rep += 1) {
+    for (int i = 0; i < 2048; i += 1) { flags[i] = 1; }
+    count = 0;
+    for (int p = 2; p < 2048; p += 1) {
+      if (flags[p]) {
+        count += 1;
+        for (int m = p + p; m < 2048; m += p) { flags[m] = 0; }
+      }
+    }
+  }
+  return count;
+}
+)",
+         {},
+         nullptr},
+
+        {"transpose_GMTI",
+         "corner-turn (matrix transpose) of the GMTI pipeline",
+         R"(
+int src[1024];
+int dst[1024];
+int main() {
+  for (int i = 0; i < 1024; i += 1) { src[i] = (i * 29) % 257; }
+  int sum = 0;
+  for (int rep = 0; rep < 12; rep += 1) {
+    for (int r = 0; r < 32; r += 1) {
+      for (int c = 0; c < 32; c += 1) {
+        dst[c * 32 + r] = src[r * 32 + c];
+      }
+    }
+    sum += dst[rep * 33 % 1024];
+  }
+  return sum;
+}
+)",
+         {},
+         nullptr},
+
+        {"twolf_1",
+         "placement cost evaluation: chained conditionals on window "
+         "bounds per cell",
+         R"(
+int xpos[400];
+int ypos[400];
+int main() {
+  int seed = 61;
+  for (int i = 0; i < 400; i += 1) {
+    seed = (seed * 69069 + 11) % 65536;
+    xpos[i] = seed % 200;
+    ypos[i] = (seed / 7) % 200;
+  }
+  int cost = 0;
+  for (int rep = 0; rep < 10; rep += 1) {
+    for (int i = 0; i < 400; i += 1) {
+      int x = xpos[i]; int y = ypos[i];
+      int penalty = 0;
+      if (x < 20)  { penalty += 20 - x; }
+      if (x > 180) { penalty += x - 180; }
+      if (y < 20)  { penalty += 20 - y; }
+      if (y > 180) { penalty += y - 180; }
+      if (penalty > 0 && (x + y) % 3 == 0) { penalty *= 2; }
+      cost += penalty + (x * y) % 16;
+    }
+  }
+  return cost;
+}
+)",
+         {},
+         nullptr},
+
+        {"twolf_3",
+         "annealing accept/reject loop: pseudo-random swaps with a "
+         "threshold branch",
+         R"(
+int cells[256];
+int main() {
+  for (int i = 0; i < 256; i += 1) { cells[i] = (i * 53) % 256; }
+  int seed = 67;
+  int energy = 5000;
+  int accepted = 0;
+  for (int step = 0; step < 4000; step += 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483647;
+    int a = seed % 256;
+    int b = (seed / 256) % 256;
+    int delta = (cells[a] - cells[b]) % 64;
+    if (delta < 0) {
+      int t = cells[a]; cells[a] = cells[b]; cells[b] = t;
+      energy += delta;
+      accepted += 1;
+    } else if ((seed / 65536) % 100 < 10) {   // uphill ~10%
+      energy += delta;
+      accepted += 1;
+    }
+  }
+  return energy + accepted;
+}
+)",
+         {},
+         nullptr},
+
+        {"vadd",
+         "vector add: the simplest dense counted loop",
+         R"(
+int va[1024];
+int vb[1024];
+int vc[1024];
+int main() {
+  for (int i = 0; i < 1024; i += 1) {
+    va[i] = i % 97;
+    vb[i] = (i * 3) % 89;
+  }
+  for (int rep = 0; rep < 10; rep += 1) {
+    for (int i = 0; i < 1024; i += 1) {
+      vc[i] = va[i] + vb[i];
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < 1024; i += 1) { sum += vc[i]; }
+  return sum;
+}
+)",
+         {},
+         nullptr},
+    };
+    return suite;
+}
+
+} // namespace chf

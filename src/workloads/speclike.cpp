@@ -1,0 +1,643 @@
+/**
+ * @file
+ * The 19 SPEC2000-like programs of Table 3 (block counts under the
+ * functional simulator; MinneSPEC-scale inputs). Each program is a
+ * TinyC rendition of its namesake's dominant loop structures -- what
+ * matters for hyperblock formation is the mix of loop shapes, branch
+ * biases, and trip counts, not the exact computation.
+ */
+
+#include "workloads/workloads.h"
+
+namespace chf {
+
+const std::vector<Workload> &
+speclikeBenchmarks()
+{
+    static const std::vector<Workload> suite = {
+
+        {"ammp",
+         "molecular dynamics: neighbor-list while loops with low trip "
+         "counts inside a force loop",
+         R"(
+int nb[512];
+int pos[512];
+int vel[512];
+int main() {
+  int seed = 71;
+  for (int i = 0; i < 512; i += 1) {
+    seed = (seed * 1103515245 + 12345) % 65536;
+    nb[i] = seed % 5;
+    pos[i] = seed % 211;
+    vel[i] = 0;
+  }
+  for (int step = 0; step < 40; step += 1) {
+    for (int a = 0; a < 512; a += 1) {
+      int f = 0;
+      int k = 0;
+      while (k < nb[a]) {
+        f += (pos[a] - pos[(a + k + 1) % 512]) % 31;
+        k += 1;
+      }
+      vel[a] += f;
+      pos[a] = (pos[a] + vel[a]) % 1024;
+      if (pos[a] < 0) { pos[a] += 1024; }
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < 512; i += 1) { sum += pos[i]; }
+  return sum;
+}
+)",
+         {},
+         nullptr},
+
+        {"applu",
+         "SSOR solver: five-point stencil sweeps over a 2D grid",
+         R"(
+int u[1156];
+int rhs[1156];
+int main() {
+  for (int i = 0; i < 1156; i += 1) {
+    u[i] = (i * 13) % 101;
+    rhs[i] = (i * 7) % 51;
+  }
+  for (int iter = 0; iter < 12; iter += 1) {
+    for (int r = 1; r < 33; r += 1) {
+      for (int c = 1; c < 33; c += 1) {
+        int idx = r * 34 + c;
+        u[idx] = (u[idx - 1] + u[idx + 1] + u[idx - 34] +
+                  u[idx + 34] + rhs[idx]) / 5;
+      }
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < 1156; i += 1) { sum += u[i]; }
+  return sum;
+}
+)",
+         {},
+         nullptr},
+
+        {"apsi",
+         "mesoscale model: layered loops with conditional boundary "
+         "handling",
+         R"(
+int field[900];
+int main() {
+  for (int i = 0; i < 900; i += 1) { field[i] = (i * 17) % 73; }
+  for (int t = 0; t < 15; t += 1) {
+    for (int z = 0; z < 9; z += 1) {
+      for (int xy = 0; xy < 100; xy += 1) {
+        int idx = z * 100 + xy;
+        int v = field[idx];
+        if (z == 0) { v += 3; }
+        else if (z == 8) { v -= 3; }
+        else { v = (v + field[idx - 100] + field[idx + 100]) / 3; }
+        field[idx] = v % 997;
+      }
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < 900; i += 1) { sum += field[i]; }
+  return sum;
+}
+)",
+         {},
+         nullptr},
+
+        {"art",
+         "adaptive resonance: repeated scan / winner-take-all / "
+         "normalize passes",
+         R"(
+int f1a[400];
+int bus[400];
+int main() {
+  int seed = 73;
+  for (int i = 0; i < 400; i += 1) {
+    seed = (seed * 69069 + 13) % 65536;
+    f1a[i] = seed % 512;
+    bus[i] = (seed / 3) % 128;
+  }
+  int match = 0;
+  for (int pass = 0; pass < 30; pass += 1) {
+    int best = 0; int besti = 0;
+    for (int i = 0; i < 400; i += 1) {
+      int y = f1a[i] * bus[i];
+      if (y > best) { best = y; besti = i; }
+    }
+    match += besti;
+    f1a[besti] = f1a[besti] / 2;
+  }
+  return match;
+}
+)",
+         {},
+         nullptr},
+
+        {"bzip2",
+         "block-sort compression: histogram, run detection, and "
+         "move-to-front with biased branches",
+         R"(
+int data[2048];
+int mtf[256];
+int freq[256];
+int main() {
+  int seed = 79;
+  for (int i = 0; i < 2048; i += 1) {
+    seed = (seed * 1103515245 + 12345) % 100000;
+    data[i] = seed % 64;
+  }
+  for (int i = 0; i < 256; i += 1) { mtf[i] = i; }
+  int out = 0;
+  for (int i = 0; i < 2048; i += 1) {
+    int b = data[i];
+    int j = 0;
+    while (mtf[j] != b) { j += 1; }       // data-dependent scan
+    out += j;
+    while (j > 0) { mtf[j] = mtf[j - 1]; j -= 1; }
+    mtf[0] = b;
+    freq[b] += 1;
+  }
+  for (int k = 0; k < 64; k += 1) { out += freq[k] * k; }
+  return out % 1000003;
+}
+)",
+         {},
+         nullptr},
+
+        {"crafty",
+         "chess search kernel: bit tricks and deeply nested "
+         "conditionals",
+         R"(
+int board[64];
+int main() {
+  int seed = 83;
+  for (int i = 0; i < 64; i += 1) {
+    seed = (seed * 75 + 74) % 65537;
+    board[i] = seed % 13 - 6;
+  }
+  int score = 0;
+  for (int ply = 0; ply < 200; ply += 1) {
+    for (int sq = 0; sq < 64; sq += 1) {
+      int piece = board[sq];
+      if (piece == 0) { continue; }
+      int v = piece;
+      if (v < 0) { v = -v; }
+      int mobility = ((sq * 2654435761) >> (v % 7)) & 15;
+      if (piece > 0) { score += v * 10 + mobility; }
+      else { score -= v * 10 + mobility; }
+      if ((sq & 7) == 0 || (sq & 7) == 7) { score += piece; }
+    }
+    board[ply % 64] = (board[ply % 64] + 1) % 7;
+  }
+  return score;
+}
+)",
+         {},
+         nullptr},
+
+        {"equake",
+         "earthquake simulation: sparse matvec plus time integration",
+         R"(
+int K[1600];
+int col[1600];
+int disp[400];
+int vel2[400];
+int main() {
+  int seed = 89;
+  for (int i = 0; i < 400; i += 1) { disp[i] = i % 23; }
+  for (int i = 0; i < 1600; i += 1) {
+    seed = (seed * 69069 + 17) % 65536;
+    K[i] = seed % 19 - 9;
+    col[i] = seed % 400;
+  }
+  for (int t = 0; t < 25; t += 1) {
+    for (int r = 0; r < 400; r += 1) {
+      int f = 0;
+      for (int k = r * 4; k < r * 4 + 4; k += 1) {
+        f += K[k] * disp[col[k]];
+      }
+      vel2[r] += f;
+      disp[r] = (disp[r] + vel2[r]) % 4096;
+    }
+  }
+  int sum = 0;
+  for (int r = 0; r < 400; r += 1) { sum += disp[r]; }
+  return sum;
+}
+)",
+         {},
+         nullptr},
+
+        {"gap",
+         "group theory: permutation composition and small-cycle while "
+         "loops (the paper's hardest program to improve)",
+         R"(
+int perm[512];
+int tmp[512];
+int seen[512];
+int main() {
+  int seed = 97;
+  for (int i = 0; i < 512; i += 1) { perm[i] = i; }
+  for (int i = 511; i > 0; i -= 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483647;
+    int j = seed % (i + 1);
+    int t = perm[i]; perm[i] = perm[j]; perm[j] = t;
+  }
+  int cycles = 0;
+  for (int rep = 0; rep < 25; rep += 1) {
+    for (int i = 0; i < 512; i += 1) { tmp[i] = perm[perm[i]]; }
+    for (int i = 0; i < 512; i += 1) { perm[i] = tmp[i]; seen[i] = 0; }
+    for (int i = 0; i < 512; i += 1) {
+      if (seen[i] == 0) {
+        cycles += 1;
+        int j = i;
+        while (seen[j] == 0) { seen[j] = 1; j = perm[j]; }
+      }
+    }
+  }
+  return cycles;
+}
+)",
+         {},
+         nullptr},
+
+        {"gzip",
+         "deflate: hash chains plus longest-match while loops",
+         R"(
+int text[3072];
+int headtab[128];
+int main() {
+  int seed = 101;
+  for (int i = 0; i < 3072; i += 1) {
+    seed = (seed * 1103515245 + 12345) % 100000;
+    text[i] = seed % 16;
+  }
+  for (int h = 0; h < 128; h += 1) { headtab[h] = 0; }
+  int compressed = 0;
+  for (int pos = 64; pos < 3008; pos += 1) {
+    int h = (text[pos] * 16 + text[pos + 1]) % 128;
+    int cand = headtab[h];
+    int len = 0;
+    if (cand > 0 && cand < pos) {
+      while (len < 16 && text[cand + len] == text[pos + len]) {
+        len += 1;
+      }
+    }
+    if (len >= 3) { compressed += len; }
+    else { compressed += 1; }
+    headtab[h] = pos;
+  }
+  return compressed;
+}
+)",
+         {},
+         nullptr},
+
+        {"mcf",
+         "network simplex: linked-list style traversal with pricing "
+         "conditionals",
+         R"(
+int nextarc[800];
+int costarc[800];
+int flow[800];
+int main() {
+  int seed = 103;
+  for (int i = 0; i < 800; i += 1) {
+    seed = (seed * 69069 + 19) % 65536;
+    nextarc[i] = seed % 800;
+    costarc[i] = seed % 50 - 25;
+    flow[i] = 0;
+  }
+  int total = 0;
+  for (int iter = 0; iter < 60; iter += 1) {
+    int arc = iter % 800;
+    int hops = 0;
+    while (hops < 40) {
+      int c = costarc[arc];
+      if (c < 0) {
+        flow[arc] += 1;
+        total -= c;
+      }
+      arc = nextarc[arc];
+      hops += 1;
+    }
+  }
+  int sum = total;
+  for (int i = 0; i < 800; i += 1) { sum += flow[i]; }
+  return sum;
+}
+)",
+         {},
+         nullptr},
+
+        {"mesa",
+         "software rasterizer: span loops with per-pixel tests and "
+         "saturating blends",
+         R"(
+int fb[1024];
+int zbuf[1024];
+int main() {
+  for (int i = 0; i < 1024; i += 1) { zbuf[i] = 100000; }
+  int drawn = 0;
+  for (int tri = 0; tri < 50; tri += 1) {
+    int z = 90000 - tri * 800;
+    int start = (tri * 37) % 512;
+    for (int x = 0; x < 400; x += 1) {
+      int idx = (start + x) % 1024;
+      if (z < zbuf[idx]) {
+        zbuf[idx] = z;
+        int c = (tri * 5 + x) % 256;
+        if (c > 200) { c = 200; }
+        fb[idx] = c;
+        drawn += 1;
+      }
+    }
+  }
+  int sum = drawn;
+  for (int i = 0; i < 1024; i += 1) { sum += fb[i]; }
+  return sum % 1000003;
+}
+)",
+         {},
+         nullptr},
+
+        {"mgrid",
+         "multigrid: nested stencil smoothing at two resolutions (the "
+         "paper's least-improved benchmark: dense for loops already "
+         "handled by the front end)",
+         R"(
+int fine[1089];
+int coarse[289];
+int main() {
+  for (int i = 0; i < 1089; i += 1) { fine[i] = (i * 31) % 211; }
+  for (int cycle = 0; cycle < 8; cycle += 1) {
+    for (int r = 1; r < 32; r += 1) {
+      for (int c = 1; c < 32; c += 1) {
+        int i = r * 33 + c;
+        fine[i] = (fine[i] * 4 + fine[i - 1] + fine[i + 1] +
+                   fine[i - 33] + fine[i + 33]) >> 3;
+      }
+    }
+    for (int r = 0; r < 17; r += 1) {
+      for (int c = 0; c < 17; c += 1) {
+        coarse[r * 17 + c] = fine[(r * 2) * 33 + c * 2];
+      }
+    }
+    for (int r = 1; r < 16; r += 1) {
+      for (int c = 1; c < 16; c += 1) {
+        int i = r * 17 + c;
+        coarse[i] = (coarse[i] * 2 + coarse[i - 1] +
+                     coarse[i + 1]) >> 2;
+      }
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < 289; i += 1) { sum += coarse[i]; }
+  return sum;
+}
+)",
+         {},
+         nullptr},
+
+        {"parser",
+         "link grammar: token dispatch with many rare alternatives and "
+         "a dictionary probe while loop",
+         R"(
+int sentence[1536];
+int dict[256];
+int main() {
+  int seed = 107;
+  for (int i = 0; i < 1536; i += 1) {
+    seed = (seed * 1103515245 + 12345) % 100000;
+    sentence[i] = seed % 96;
+  }
+  for (int i = 0; i < 256; i += 1) { dict[i] = (i * 19) % 97; }
+  int links = 0;
+  for (int w = 0; w < 1536; w += 1) {
+    int t = sentence[w];
+    if (t < 4) {
+      int probe = t;
+      while (dict[probe % 256] % 5 != 0) { probe += 7; }
+      links += probe % 64;
+    } else if (t < 8) {
+      links += dict[t * 3 % 256] / 3;
+    } else {
+      links += t % 5;
+    }
+  }
+  return links;
+}
+)",
+         {},
+         nullptr},
+
+        {"sixtrack",
+         "particle tracking: long straight-line update chains per "
+         "element",
+         R"(
+int px[256];
+int py[256];
+int main() {
+  int seed = 109;
+  for (int i = 0; i < 256; i += 1) {
+    seed = (seed * 75 + 74) % 65537;
+    px[i] = seed % 1000 - 500;
+    py[i] = (seed / 3) % 1000 - 500;
+  }
+  for (int turn = 0; turn < 60; turn += 1) {
+    for (int p = 0; p < 256; p += 1) {
+      int x = px[p]; int y = py[p];
+      x = x + (y >> 3);
+      y = y - (x >> 3);
+      x = x + (y * 3 >> 5);
+      y = y - (x * 3 >> 5);
+      if (x > 2000) { x = 2000; }
+      if (x < -2000) { x = -2000; }
+      px[p] = x; py[p] = y;
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < 256; i += 1) { sum += px[i] + py[i]; }
+  return sum;
+}
+)",
+         {},
+         nullptr},
+
+        {"swim",
+         "shallow water: three dense stencil sweeps per timestep",
+         R"(
+int un[1156];
+int vn[1156];
+int pn[1156];
+int main() {
+  for (int i = 0; i < 1156; i += 1) {
+    un[i] = (i * 3) % 41;
+    vn[i] = (i * 5) % 43;
+    pn[i] = (i * 7) % 47;
+  }
+  for (int t = 0; t < 10; t += 1) {
+    for (int r = 1; r < 33; r += 1) {
+      for (int c = 1; c < 33; c += 1) {
+        int i = r * 34 + c;
+        un[i] = (un[i] + pn[i - 1] - pn[i + 1]) % 503;
+        vn[i] = (vn[i] + pn[i - 34] - pn[i + 34]) % 503;
+        pn[i] = (pn[i] + un[i] - vn[i]) % 503;
+      }
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < 1156; i += 1) { sum += pn[i]; }
+  return sum;
+}
+)",
+         {},
+         nullptr},
+
+        {"twolf",
+         "place and route: cost deltas with accept/reject and window "
+         "penalty conditionals",
+         R"(
+int cx[512];
+int cy[512];
+int main() {
+  int seed = 113;
+  for (int i = 0; i < 512; i += 1) {
+    seed = (seed * 69069 + 23) % 65536;
+    cx[i] = seed % 256;
+    cy[i] = (seed / 5) % 256;
+  }
+  int cost = 100000;
+  for (int step = 0; step < 3000; step += 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483647;
+    int a = seed % 512;
+    int b = (seed / 512) % 512;
+    int old_d = (cx[a] - cx[b]) * (cx[a] - cx[b]) +
+                (cy[a] - cy[b]) * (cy[a] - cy[b]);
+    int t = cx[a]; cx[a] = cx[b]; cx[b] = t;
+    int new_d = (cx[a] - cx[b]) * (cx[a] - cx[b]) +
+                (cy[a] - cy[b]) * (cy[a] - cy[b]);
+    if (new_d <= old_d) {
+      cost -= old_d - new_d;
+    } else if ((seed / 131072) % 100 < 5) {
+      cost += new_d - old_d;
+    } else {
+      t = cx[a]; cx[a] = cx[b]; cx[b] = t;   // reject: swap back
+    }
+  }
+  return cost % 1000003;
+}
+)",
+         {},
+         nullptr},
+
+        {"vortex",
+         "object database: record validation with early-out chains and "
+         "a free-list walk",
+         R"(
+int objtype[1024];
+int objsize[1024];
+int freelist[1024];
+int main() {
+  int seed = 127;
+  for (int i = 0; i < 1024; i += 1) {
+    seed = (seed * 1103515245 + 12345) % 100000;
+    objtype[i] = seed % 8;
+    objsize[i] = seed % 120 + 8;
+    freelist[i] = (i + 17) % 1024;
+  }
+  int valid = 0;
+  for (int rep = 0; rep < 20; rep += 1) {
+    for (int o = 0; o < 1024; o += 1) {
+      if (objtype[o] == 7) { continue; }
+      if (objsize[o] < 16) { continue; }
+      if (objsize[o] > 96 && objtype[o] % 2 == 0) { continue; }
+      valid += 1;
+    }
+    int node = rep % 1024;
+    int hops = 0;
+    while (hops < 50) { node = freelist[node]; hops += 1; }
+    valid += node % 3;
+  }
+  return valid;
+}
+)",
+         {},
+         nullptr},
+
+        {"vpr",
+         "FPGA routing: wavefront expansion loop with bounded queue and "
+         "cost comparisons",
+         R"(
+int costmap[1024];
+int queue[2048];
+int visited[1024];
+int main() {
+  int seed = 131;
+  for (int i = 0; i < 1024; i += 1) {
+    seed = (seed * 69069 + 29) % 65536;
+    costmap[i] = seed % 20 + 1;
+  }
+  int routed = 0;
+  for (int net = 0; net < 24; net += 1) {
+    for (int i = 0; i < 1024; i += 1) { visited[i] = 0; }
+    int head = 0; int tail = 0;
+    queue[tail] = (net * 97) % 1024; tail += 1;
+    visited[queue[0]] = 1;
+    while (head < tail && tail < 2000) {
+      int node = queue[head]; head += 1;
+      routed += costmap[node] % 3;
+      int right = (node + 1) % 1024;
+      int down = (node + 32) % 1024;
+      if (visited[right] == 0 && costmap[right] < 15) {
+        visited[right] = 1; queue[tail] = right; tail += 1;
+      }
+      if (visited[down] == 0 && costmap[down] < 15) {
+        visited[down] = 1; queue[tail] = down; tail += 1;
+      }
+    }
+  }
+  return routed;
+}
+)",
+         {},
+         nullptr},
+
+        {"wupwise",
+         "lattice QCD: complex 4x4 matrix-vector products in dense "
+         "loops",
+         R"(
+int mat[512];
+int vecin[128];
+int vecout[128];
+int main() {
+  int seed = 137;
+  for (int i = 0; i < 512; i += 1) {
+    seed = (seed * 75 + 74) % 65537;
+    mat[i] = seed % 17 - 8;
+  }
+  for (int i = 0; i < 128; i += 1) { vecin[i] = (i * 11) % 29 - 14; }
+  for (int site = 0; site < 120; site += 1) {
+    int base = (site % 32) * 16;
+    for (int r = 0; r < 4; r += 1) {
+      int acc = 0;
+      for (int c = 0; c < 4; c += 1) {
+        acc += mat[base + r * 4 + c] * vecin[(site + c) % 128];
+      }
+      vecout[(site + r) % 128] = acc;
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < 128; i += 1) { sum += vecout[i]; }
+  return sum;
+}
+)",
+         {},
+         nullptr},
+    };
+    return suite;
+}
+
+} // namespace chf

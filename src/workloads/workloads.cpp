@@ -1,0 +1,33 @@
+#include "workloads/workloads.h"
+
+#include "frontend/lowering.h"
+
+namespace chf {
+
+const Workload *
+findWorkload(const std::string &name)
+{
+    for (const auto &w : microbenchmarks()) {
+        if (w.name == name)
+            return &w;
+    }
+    for (const auto &w : speclikeBenchmarks()) {
+        if (w.name == name)
+            return &w;
+    }
+    return nullptr;
+}
+
+Program
+buildWorkload(const Workload &workload)
+{
+    Program program = compileTinyC(workload.source);
+    program.defaultArgs = workload.args;
+    if (workload.fill) {
+        Rng rng(0x5eed0000 + std::hash<std::string>{}(workload.name));
+        workload.fill(program.memory, rng);
+    }
+    return program;
+}
+
+} // namespace chf

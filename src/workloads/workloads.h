@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Benchmark registry.
+ *
+ * The paper evaluates microbenchmarks "derived by extracting loops and
+ * procedures from SPEC2000, and with signal-processing kernels from the
+ * GMTI radar suite, a 10x10 matrix multiply, sieve, and Dhrystone"
+ * (§7), plus whole SPEC2000 programs under the functional simulator
+ * (§7.3). Neither source set is redistributable, so each workload here
+ * is a TinyC program written to reproduce the *control-flow structure*
+ * the paper relies on (low-trip while loops for ammp, a loop-carried
+ * induction update in a merge block for bzip2_3, rarely-taken deep
+ * paths for parser_1, ...). See DESIGN.md's substitution table.
+ */
+
+#ifndef CHF_WORKLOADS_WORKLOADS_H
+#define CHF_WORKLOADS_WORKLOADS_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "support/random.h"
+
+namespace chf {
+
+/** One registered benchmark. */
+struct Workload
+{
+    std::string name;
+
+    /** What structure of the paper's benchmark this reproduces. */
+    std::string note;
+
+    /** TinyC source. */
+    std::string source;
+
+    /** Arguments passed to main(). */
+    std::vector<int64_t> args;
+
+    /** Optional host-side array initialization (deterministic). */
+    std::function<void(MemoryImage &, Rng &)> fill;
+};
+
+/** The 24 microbenchmarks of Tables 1 and 2. */
+const std::vector<Workload> &microbenchmarks();
+
+/** The 19 SPEC-like programs of Table 3. */
+const std::vector<Workload> &speclikeBenchmarks();
+
+/** Find a workload by name in both suites; nullptr if absent. */
+const Workload *findWorkload(const std::string &name);
+
+/** Compile a workload and apply its memory initialization. */
+Program buildWorkload(const Workload &workload);
+
+} // namespace chf
+
+#endif // CHF_WORKLOADS_WORKLOADS_H

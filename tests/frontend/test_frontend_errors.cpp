@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Front-end error paths: TinyC rejects malformed and unsupported
+ * programs with a fatal diagnostic (exit code 1), never silently
+ * miscompiling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/lowering.h"
+#include "frontend/parser.h"
+
+namespace chf {
+namespace {
+
+void
+compile(const char *source)
+{
+    compileTinyC(source);
+}
+
+using FrontendDeath = ::testing::Test;
+
+TEST(FrontendDeath, LexerRejectsBadCharacter)
+{
+    EXPECT_EXIT(compile("int main() { return 1 @ 2; }"),
+                ::testing::ExitedWithCode(1), "unexpected character");
+}
+
+TEST(FrontendDeath, LexerRejectsUnterminatedComment)
+{
+    EXPECT_EXIT(compile("int main() { /* oops"),
+                ::testing::ExitedWithCode(1), "unterminated comment");
+}
+
+TEST(FrontendDeath, ParserRejectsMissingSemicolon)
+{
+    EXPECT_EXIT(compile("int main() { int x = 1 return x; }"),
+                ::testing::ExitedWithCode(1), "expected");
+}
+
+TEST(FrontendDeath, ParserRejectsUnbalancedBraces)
+{
+    EXPECT_EXIT(compile("int main() { if (1) { return 1; }"),
+                ::testing::ExitedWithCode(1), "unterminated block");
+}
+
+TEST(FrontendDeath, LoweringRejectsUnknownVariable)
+{
+    EXPECT_EXIT(compile("int main() { return nope; }"),
+                ::testing::ExitedWithCode(1), "unknown variable");
+}
+
+TEST(FrontendDeath, LoweringRejectsUnknownFunction)
+{
+    EXPECT_EXIT(compile("int main() { return nope(3); }"),
+                ::testing::ExitedWithCode(1), "unknown function");
+}
+
+TEST(FrontendDeath, LoweringRejectsRecursion)
+{
+    EXPECT_EXIT(compile("int f(int x) { return f(x - 1); }\n"
+                        "int main() { return f(3); }"),
+                ::testing::ExitedWithCode(1), "recursive");
+}
+
+TEST(FrontendDeath, LoweringRejectsArityMismatch)
+{
+    EXPECT_EXIT(compile("int f(int a, int b) { return a + b; }\n"
+                        "int main() { return f(1); }"),
+                ::testing::ExitedWithCode(1), "expects 2 arguments");
+}
+
+TEST(FrontendDeath, LoweringRejectsIndexingScalar)
+{
+    EXPECT_EXIT(compile("int g;\nint main() { return g[0]; }"),
+                ::testing::ExitedWithCode(1), "not an array");
+}
+
+TEST(FrontendDeath, LoweringRejectsBreakOutsideLoop)
+{
+    EXPECT_EXIT(compile("int main() { break; }"),
+                ::testing::ExitedWithCode(1), "break outside loop");
+}
+
+TEST(FrontendDeath, LoweringRejectsRedeclaration)
+{
+    EXPECT_EXIT(compile("int main() { int x = 1; int x = 2; return x; }"),
+                ::testing::ExitedWithCode(1), "redeclaration");
+}
+
+TEST(FrontendDeath, LoweringRejectsMissingMain)
+{
+    EXPECT_EXIT(compile("int helper() { return 1; }"),
+                ::testing::ExitedWithCode(1), "no function named");
+}
+
+TEST(FrontendDeath, ParserRejectsTooManyInitializers)
+{
+    EXPECT_EXIT(compile("int a[2] = {1, 2, 3};\n"
+                        "int main() { return a[0]; }"),
+                ::testing::ExitedWithCode(1), "too many initializers");
+}
+
+} // namespace
+} // namespace chf

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * IR layer tests: opcode traits, instructions, blocks, functions, the
+ * builder, the printer, and the verifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace chf {
+namespace {
+
+// ----- Opcode traits -----
+
+TEST(Opcode, Traits)
+{
+    EXPECT_TRUE(opcodeHasDest(Opcode::Add));
+    EXPECT_FALSE(opcodeHasDest(Opcode::Store));
+    EXPECT_FALSE(opcodeHasDest(Opcode::Br));
+    EXPECT_TRUE(opcodeIsBranch(Opcode::Ret));
+    EXPECT_TRUE(opcodeIsTest(Opcode::Tle));
+    EXPECT_FALSE(opcodeIsTest(Opcode::Band));
+    EXPECT_TRUE(opcodeIsMemory(Opcode::Load));
+    EXPECT_TRUE(opcodeIsPure(Opcode::Xor));
+    EXPECT_FALSE(opcodeIsPure(Opcode::Load)); // reads memory
+    EXPECT_EQ(opcodeNumSrcs(Opcode::Store), 3);
+    EXPECT_EQ(opcodeNumSrcs(Opcode::Neg), 1);
+    EXPECT_GT(opcodeLatency(Opcode::Div), opcodeLatency(Opcode::Add));
+}
+
+TEST(Opcode, InvertTest)
+{
+    EXPECT_EQ(invertTest(Opcode::Tlt), Opcode::Tge);
+    EXPECT_EQ(invertTest(Opcode::Teq), Opcode::Tne);
+    EXPECT_EQ(invertTest(invertTest(Opcode::Tle)), Opcode::Tle);
+}
+
+TEST(Opcode, EvalSemantics)
+{
+    EXPECT_EQ(evalOpcode(Opcode::Add, 2, 3), 5);
+    EXPECT_EQ(evalOpcode(Opcode::Div, 7, 0), 0);  // defined
+    EXPECT_EQ(evalOpcode(Opcode::Mod, 7, 0), 0);
+    EXPECT_EQ(evalOpcode(Opcode::Shr, -8, 1), -4); // arithmetic
+    EXPECT_EQ(evalOpcode(Opcode::Band, 5, 3), 1);
+    EXPECT_EQ(evalOpcode(Opcode::Band, 5, 0), 0);
+    EXPECT_EQ(evalOpcode(Opcode::Bandc, 5, 0), 1);
+    EXPECT_EQ(evalOpcode(Opcode::Bandc, 5, 2), 0);
+    EXPECT_EQ(evalOpcode(Opcode::Tlt, -1, 0), 1);
+}
+
+// ----- Instructions -----
+
+TEST(Instruction, UsesIncludePredicate)
+{
+    Instruction inst = Instruction::binary(
+        Opcode::Add, 5, Operand::makeReg(1), Operand::makeImm(3));
+    inst.pred = Predicate::onReg(9, false);
+    std::vector<Vreg> uses;
+    inst.forEachUse([&](Vreg v) { uses.push_back(v); });
+    EXPECT_EQ(uses, (std::vector<Vreg>{1, 9}));
+}
+
+TEST(Instruction, SameAsIgnoresFrequency)
+{
+    Instruction a = Instruction::br(3, Predicate::onReg(1, true), 10.0);
+    Instruction b = Instruction::br(3, Predicate::onReg(1, true), 99.0);
+    EXPECT_TRUE(a.sameAs(b));
+    b.target = 4;
+    EXPECT_FALSE(a.sameAs(b));
+}
+
+// ----- Blocks and function structure -----
+
+TEST(Function, BlocksAndVregs)
+{
+    Function fn;
+    BasicBlock *a = fn.newBlock("a");
+    BasicBlock *b = fn.newBlock();
+    EXPECT_EQ(a->id(), 0u);
+    EXPECT_EQ(b->id(), 1u);
+    EXPECT_EQ(b->name(), "bb1");
+    EXPECT_EQ(fn.newVreg(), 0u);
+    EXPECT_EQ(fn.newVreg(), 1u);
+    EXPECT_EQ(fn.numVregs(), 2u);
+    EXPECT_EQ(fn.numBlocks(), 2u);
+}
+
+Function
+makeDiamond()
+{
+    // entry -> (then | else) -> join -> ret
+    Function fn;
+    IRBuilder b(fn);
+    BlockId entry = b.makeBlock("entry");
+    BlockId then_b = b.makeBlock("then");
+    BlockId else_b = b.makeBlock("else");
+    BlockId join = b.makeBlock("join");
+    fn.setEntry(entry);
+
+    b.setBlock(entry);
+    Vreg c = b.constant(1);
+    b.brCond(c, then_b, else_b);
+    b.setBlock(then_b);
+    b.br(join);
+    b.setBlock(else_b);
+    b.br(join);
+    b.setBlock(join);
+    b.ret(IRBuilder::imm(0));
+    return fn;
+}
+
+TEST(Function, SuccessorsAndPredecessors)
+{
+    Function fn = makeDiamond();
+    EXPECT_EQ(fn.block(0)->successors(),
+              (std::vector<BlockId>{1, 2}));
+    PredecessorMap preds = fn.predecessors();
+    EXPECT_EQ(preds[3], (std::vector<BlockId>{1, 2}));
+    EXPECT_TRUE(preds[0].empty());
+}
+
+TEST(Function, ReversePostOrderStartsAtEntry)
+{
+    Function fn = makeDiamond();
+    auto rpo = fn.reversePostOrder();
+    ASSERT_EQ(rpo.size(), 4u);
+    EXPECT_EQ(rpo.front(), fn.entry());
+    EXPECT_EQ(rpo.back(), 3u); // the join is visited last
+}
+
+TEST(Function, RemoveUnreachable)
+{
+    Function fn = makeDiamond();
+    BasicBlock *orphan = fn.newBlock("orphan");
+    IRBuilder b(fn);
+    b.setBlock(orphan->id());
+    b.ret();
+    EXPECT_EQ(fn.numBlocks(), 5u);
+    EXPECT_EQ(fn.removeUnreachable(), 1u);
+    EXPECT_EQ(fn.numBlocks(), 4u);
+    EXPECT_EQ(fn.block(orphan->id()), nullptr);
+}
+
+TEST(Function, CloneIsDeep)
+{
+    Function fn = makeDiamond();
+    Function copy = fn.clone();
+    copy.block(0)->insts.clear();
+    EXPECT_FALSE(fn.block(0)->insts.empty());
+    EXPECT_EQ(copy.entry(), fn.entry());
+    EXPECT_EQ(copy.numVregs(), fn.numVregs());
+}
+
+TEST(BasicBlock, FrequencyAndMemOps)
+{
+    Function fn;
+    IRBuilder b(fn);
+    BlockId id = b.makeBlock();
+    fn.setEntry(id);
+    b.setBlock(id);
+    Vreg base = b.constant(0);
+    Vreg v = b.load(IRBuilder::r(base), IRBuilder::imm(0));
+    b.store(IRBuilder::r(base), IRBuilder::imm(1), IRBuilder::r(v));
+    b.emit(Instruction::br(id, Predicate::onReg(v, true), 10.0));
+    b.emit(Instruction::ret(Operand::makeNone(),
+                            Predicate::onReg(v, false), 2.0));
+    EXPECT_EQ(fn.block(id)->memoryOpCount(), 2u);
+    EXPECT_DOUBLE_EQ(fn.block(id)->frequency(), 12.0);
+    EXPECT_TRUE(fn.block(id)->isPredicated());
+    EXPECT_TRUE(fn.block(id)->hasReturn());
+}
+
+// ----- Printer -----
+
+TEST(Printer, InstructionFormats)
+{
+    Instruction add = Instruction::binary(
+        Opcode::Add, 3, Operand::makeReg(1), Operand::makeImm(7));
+    EXPECT_EQ(toString(add), "add v3 = v1, #7");
+
+    Instruction br = Instruction::br(5, Predicate::onReg(2, false));
+    EXPECT_EQ(toString(br), "br bb5  <!v2>");
+
+    Instruction ret = Instruction::ret(Operand::makeReg(4));
+    EXPECT_EQ(toString(ret), "ret v4");
+}
+
+// ----- Verifier -----
+
+TEST(Verifier, AcceptsWellFormed)
+{
+    Function fn = makeDiamond();
+    EXPECT_TRUE(verify(fn).empty());
+}
+
+TEST(Verifier, RejectsBranchToDeadBlock)
+{
+    Function fn = makeDiamond();
+    fn.block(1)->insts[0].target = 99;
+    EXPECT_FALSE(verify(fn).empty());
+}
+
+TEST(Verifier, RejectsMissingTerminator)
+{
+    Function fn = makeDiamond();
+    fn.block(1)->insts.clear();
+    fn.block(1)->append(Instruction::unary(Opcode::Mov, 0,
+                                           Operand::makeImm(1)));
+    auto problems = verify(fn);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("no branch"), std::string::npos);
+}
+
+TEST(Verifier, RejectsOutOfRangeRegister)
+{
+    Function fn = makeDiamond();
+    fn.block(3)->insts[0].srcs[0] = Operand::makeReg(1000);
+    EXPECT_FALSE(verify(fn).empty());
+}
+
+TEST(Verifier, RejectsTwoUnpredicatedBranches)
+{
+    Function fn = makeDiamond();
+    fn.block(1)->append(Instruction::br(3));
+    EXPECT_FALSE(verify(fn).empty());
+}
+
+} // namespace
+} // namespace chf
