@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_utilization.dir/block_utilization.cpp.o"
+  "CMakeFiles/block_utilization.dir/block_utilization.cpp.o.d"
+  "block_utilization"
+  "block_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_correlation.dir/figure7_correlation.cpp.o"
+  "CMakeFiles/figure7_correlation.dir/figure7_correlation.cpp.o.d"
+  "figure7_correlation"
+  "figure7_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

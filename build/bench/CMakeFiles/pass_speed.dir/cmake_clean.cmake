@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pass_speed.dir/pass_speed.cpp.o"
+  "CMakeFiles/pass_speed.dir/pass_speed.cpp.o.d"
+  "pass_speed"
+  "pass_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pass_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

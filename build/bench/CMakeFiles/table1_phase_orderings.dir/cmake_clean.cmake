@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_phase_orderings.dir/table1_phase_orderings.cpp.o"
+  "CMakeFiles/table1_phase_orderings.dir/table1_phase_orderings.cpp.o.d"
+  "table1_phase_orderings"
+  "table1_phase_orderings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_phase_orderings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_heuristics.dir/table2_heuristics.cpp.o"
+  "CMakeFiles/table2_heuristics.dir/table2_heuristics.cpp.o.d"
+  "table2_heuristics"
+  "table2_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

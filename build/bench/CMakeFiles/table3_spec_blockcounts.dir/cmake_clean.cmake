@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_spec_blockcounts.dir/table3_spec_blockcounts.cpp.o"
+  "CMakeFiles/table3_spec_blockcounts.dir/table3_spec_blockcounts.cpp.o.d"
+  "table3_spec_blockcounts"
+  "table3_spec_blockcounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_spec_blockcounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

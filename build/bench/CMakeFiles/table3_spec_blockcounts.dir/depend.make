@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_spec_blockcounts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinyc_compiler.dir/tinyc_compiler.cpp.o"
+  "CMakeFiles/tinyc_compiler.dir/tinyc_compiler.cpp.o.d"
+  "tinyc_compiler"
+  "tinyc_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinyc_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

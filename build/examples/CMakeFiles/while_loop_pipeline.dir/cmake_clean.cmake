@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/while_loop_pipeline.dir/while_loop_pipeline.cpp.o"
+  "CMakeFiles/while_loop_pipeline.dir/while_loop_pipeline.cpp.o.d"
+  "while_loop_pipeline"
+  "while_loop_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/while_loop_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

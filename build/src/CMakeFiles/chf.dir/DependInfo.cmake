@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dominators.cpp" "src/CMakeFiles/chf.dir/analysis/dominators.cpp.o" "gcc" "src/CMakeFiles/chf.dir/analysis/dominators.cpp.o.d"
+  "/root/repo/src/analysis/liveness.cpp" "src/CMakeFiles/chf.dir/analysis/liveness.cpp.o" "gcc" "src/CMakeFiles/chf.dir/analysis/liveness.cpp.o.d"
+  "/root/repo/src/analysis/loops.cpp" "src/CMakeFiles/chf.dir/analysis/loops.cpp.o" "gcc" "src/CMakeFiles/chf.dir/analysis/loops.cpp.o.d"
+  "/root/repo/src/analysis/profile.cpp" "src/CMakeFiles/chf.dir/analysis/profile.cpp.o" "gcc" "src/CMakeFiles/chf.dir/analysis/profile.cpp.o.d"
+  "/root/repo/src/backend/asm_writer.cpp" "src/CMakeFiles/chf.dir/backend/asm_writer.cpp.o" "gcc" "src/CMakeFiles/chf.dir/backend/asm_writer.cpp.o.d"
+  "/root/repo/src/backend/fanout.cpp" "src/CMakeFiles/chf.dir/backend/fanout.cpp.o" "gcc" "src/CMakeFiles/chf.dir/backend/fanout.cpp.o.d"
+  "/root/repo/src/backend/regalloc.cpp" "src/CMakeFiles/chf.dir/backend/regalloc.cpp.o" "gcc" "src/CMakeFiles/chf.dir/backend/regalloc.cpp.o.d"
+  "/root/repo/src/backend/scheduler.cpp" "src/CMakeFiles/chf.dir/backend/scheduler.cpp.o" "gcc" "src/CMakeFiles/chf.dir/backend/scheduler.cpp.o.d"
+  "/root/repo/src/frontend/ast.cpp" "src/CMakeFiles/chf.dir/frontend/ast.cpp.o" "gcc" "src/CMakeFiles/chf.dir/frontend/ast.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "src/CMakeFiles/chf.dir/frontend/lexer.cpp.o" "gcc" "src/CMakeFiles/chf.dir/frontend/lexer.cpp.o.d"
+  "/root/repo/src/frontend/lowering.cpp" "src/CMakeFiles/chf.dir/frontend/lowering.cpp.o" "gcc" "src/CMakeFiles/chf.dir/frontend/lowering.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/CMakeFiles/chf.dir/frontend/parser.cpp.o" "gcc" "src/CMakeFiles/chf.dir/frontend/parser.cpp.o.d"
+  "/root/repo/src/hyperblock/constraints.cpp" "src/CMakeFiles/chf.dir/hyperblock/constraints.cpp.o" "gcc" "src/CMakeFiles/chf.dir/hyperblock/constraints.cpp.o.d"
+  "/root/repo/src/hyperblock/convergent.cpp" "src/CMakeFiles/chf.dir/hyperblock/convergent.cpp.o" "gcc" "src/CMakeFiles/chf.dir/hyperblock/convergent.cpp.o.d"
+  "/root/repo/src/hyperblock/merge.cpp" "src/CMakeFiles/chf.dir/hyperblock/merge.cpp.o" "gcc" "src/CMakeFiles/chf.dir/hyperblock/merge.cpp.o.d"
+  "/root/repo/src/hyperblock/phase_ordering.cpp" "src/CMakeFiles/chf.dir/hyperblock/phase_ordering.cpp.o" "gcc" "src/CMakeFiles/chf.dir/hyperblock/phase_ordering.cpp.o.d"
+  "/root/repo/src/hyperblock/policy.cpp" "src/CMakeFiles/chf.dir/hyperblock/policy.cpp.o" "gcc" "src/CMakeFiles/chf.dir/hyperblock/policy.cpp.o.d"
+  "/root/repo/src/hyperblock/vliw_policy.cpp" "src/CMakeFiles/chf.dir/hyperblock/vliw_policy.cpp.o" "gcc" "src/CMakeFiles/chf.dir/hyperblock/vliw_policy.cpp.o.d"
+  "/root/repo/src/ir/basic_block.cpp" "src/CMakeFiles/chf.dir/ir/basic_block.cpp.o" "gcc" "src/CMakeFiles/chf.dir/ir/basic_block.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/chf.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/chf.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/function.cpp" "src/CMakeFiles/chf.dir/ir/function.cpp.o" "gcc" "src/CMakeFiles/chf.dir/ir/function.cpp.o.d"
+  "/root/repo/src/ir/ir_parser.cpp" "src/CMakeFiles/chf.dir/ir/ir_parser.cpp.o" "gcc" "src/CMakeFiles/chf.dir/ir/ir_parser.cpp.o.d"
+  "/root/repo/src/ir/opcode.cpp" "src/CMakeFiles/chf.dir/ir/opcode.cpp.o" "gcc" "src/CMakeFiles/chf.dir/ir/opcode.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/chf.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/chf.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/CMakeFiles/chf.dir/ir/program.cpp.o" "gcc" "src/CMakeFiles/chf.dir/ir/program.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/CMakeFiles/chf.dir/ir/verifier.cpp.o" "gcc" "src/CMakeFiles/chf.dir/ir/verifier.cpp.o.d"
+  "/root/repo/src/report/block_report.cpp" "src/CMakeFiles/chf.dir/report/block_report.cpp.o" "gcc" "src/CMakeFiles/chf.dir/report/block_report.cpp.o.d"
+  "/root/repo/src/sim/functional_sim.cpp" "src/CMakeFiles/chf.dir/sim/functional_sim.cpp.o" "gcc" "src/CMakeFiles/chf.dir/sim/functional_sim.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/CMakeFiles/chf.dir/sim/memory.cpp.o" "gcc" "src/CMakeFiles/chf.dir/sim/memory.cpp.o.d"
+  "/root/repo/src/sim/predictor.cpp" "src/CMakeFiles/chf.dir/sim/predictor.cpp.o" "gcc" "src/CMakeFiles/chf.dir/sim/predictor.cpp.o.d"
+  "/root/repo/src/sim/timing_sim.cpp" "src/CMakeFiles/chf.dir/sim/timing_sim.cpp.o" "gcc" "src/CMakeFiles/chf.dir/sim/timing_sim.cpp.o.d"
+  "/root/repo/src/support/bitvector.cpp" "src/CMakeFiles/chf.dir/support/bitvector.cpp.o" "gcc" "src/CMakeFiles/chf.dir/support/bitvector.cpp.o.d"
+  "/root/repo/src/support/fatal.cpp" "src/CMakeFiles/chf.dir/support/fatal.cpp.o" "gcc" "src/CMakeFiles/chf.dir/support/fatal.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/chf.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/chf.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/chf.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/chf.dir/support/table.cpp.o.d"
+  "/root/repo/src/transform/cfg_utils.cpp" "src/CMakeFiles/chf.dir/transform/cfg_utils.cpp.o" "gcc" "src/CMakeFiles/chf.dir/transform/cfg_utils.cpp.o.d"
+  "/root/repo/src/transform/copy_prop.cpp" "src/CMakeFiles/chf.dir/transform/copy_prop.cpp.o" "gcc" "src/CMakeFiles/chf.dir/transform/copy_prop.cpp.o.d"
+  "/root/repo/src/transform/dce.cpp" "src/CMakeFiles/chf.dir/transform/dce.cpp.o" "gcc" "src/CMakeFiles/chf.dir/transform/dce.cpp.o.d"
+  "/root/repo/src/transform/for_loop_unroll.cpp" "src/CMakeFiles/chf.dir/transform/for_loop_unroll.cpp.o" "gcc" "src/CMakeFiles/chf.dir/transform/for_loop_unroll.cpp.o.d"
+  "/root/repo/src/transform/gvn.cpp" "src/CMakeFiles/chf.dir/transform/gvn.cpp.o" "gcc" "src/CMakeFiles/chf.dir/transform/gvn.cpp.o.d"
+  "/root/repo/src/transform/head_duplicate.cpp" "src/CMakeFiles/chf.dir/transform/head_duplicate.cpp.o" "gcc" "src/CMakeFiles/chf.dir/transform/head_duplicate.cpp.o.d"
+  "/root/repo/src/transform/if_convert.cpp" "src/CMakeFiles/chf.dir/transform/if_convert.cpp.o" "gcc" "src/CMakeFiles/chf.dir/transform/if_convert.cpp.o.d"
+  "/root/repo/src/transform/normalize_outputs.cpp" "src/CMakeFiles/chf.dir/transform/normalize_outputs.cpp.o" "gcc" "src/CMakeFiles/chf.dir/transform/normalize_outputs.cpp.o.d"
+  "/root/repo/src/transform/optimize.cpp" "src/CMakeFiles/chf.dir/transform/optimize.cpp.o" "gcc" "src/CMakeFiles/chf.dir/transform/optimize.cpp.o.d"
+  "/root/repo/src/transform/pred_opt.cpp" "src/CMakeFiles/chf.dir/transform/pred_opt.cpp.o" "gcc" "src/CMakeFiles/chf.dir/transform/pred_opt.cpp.o.d"
+  "/root/repo/src/transform/reverse_if_convert.cpp" "src/CMakeFiles/chf.dir/transform/reverse_if_convert.cpp.o" "gcc" "src/CMakeFiles/chf.dir/transform/reverse_if_convert.cpp.o.d"
+  "/root/repo/src/transform/simplify_cfg.cpp" "src/CMakeFiles/chf.dir/transform/simplify_cfg.cpp.o" "gcc" "src/CMakeFiles/chf.dir/transform/simplify_cfg.cpp.o.d"
+  "/root/repo/src/transform/tail_duplicate.cpp" "src/CMakeFiles/chf.dir/transform/tail_duplicate.cpp.o" "gcc" "src/CMakeFiles/chf.dir/transform/tail_duplicate.cpp.o.d"
+  "/root/repo/src/workloads/microbench.cpp" "src/CMakeFiles/chf.dir/workloads/microbench.cpp.o" "gcc" "src/CMakeFiles/chf.dir/workloads/microbench.cpp.o.d"
+  "/root/repo/src/workloads/speclike.cpp" "src/CMakeFiles/chf.dir/workloads/speclike.cpp.o" "gcc" "src/CMakeFiles/chf.dir/workloads/speclike.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/CMakeFiles/chf.dir/workloads/workloads.cpp.o" "gcc" "src/CMakeFiles/chf.dir/workloads/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_analysis.cpp" "tests/CMakeFiles/chf_tests.dir/analysis/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/analysis/test_analysis.cpp.o.d"
+  "/root/repo/tests/backend/test_backend.cpp" "tests/CMakeFiles/chf_tests.dir/backend/test_backend.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/backend/test_backend.cpp.o.d"
+  "/root/repo/tests/backend/test_extensions.cpp" "tests/CMakeFiles/chf_tests.dir/backend/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/backend/test_extensions.cpp.o.d"
+  "/root/repo/tests/frontend/test_frontend.cpp" "tests/CMakeFiles/chf_tests.dir/frontend/test_frontend.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/frontend/test_frontend.cpp.o.d"
+  "/root/repo/tests/frontend/test_frontend_errors.cpp" "tests/CMakeFiles/chf_tests.dir/frontend/test_frontend_errors.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/frontend/test_frontend_errors.cpp.o.d"
+  "/root/repo/tests/hyperblock/test_hyperblock.cpp" "tests/CMakeFiles/chf_tests.dir/hyperblock/test_hyperblock.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/hyperblock/test_hyperblock.cpp.o.d"
+  "/root/repo/tests/integration/test_fuzz.cpp" "tests/CMakeFiles/chf_tests.dir/integration/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/integration/test_fuzz.cpp.o.d"
+  "/root/repo/tests/integration/test_pipelines.cpp" "tests/CMakeFiles/chf_tests.dir/integration/test_pipelines.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/integration/test_pipelines.cpp.o.d"
+  "/root/repo/tests/ir/test_ir.cpp" "tests/CMakeFiles/chf_tests.dir/ir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/ir/test_ir.cpp.o.d"
+  "/root/repo/tests/ir/test_ir_parser.cpp" "tests/CMakeFiles/chf_tests.dir/ir/test_ir_parser.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/ir/test_ir_parser.cpp.o.d"
+  "/root/repo/tests/sim/test_sim.cpp" "tests/CMakeFiles/chf_tests.dir/sim/test_sim.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/sim/test_sim.cpp.o.d"
+  "/root/repo/tests/support/test_support.cpp" "tests/CMakeFiles/chf_tests.dir/support/test_support.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/support/test_support.cpp.o.d"
+  "/root/repo/tests/transform/test_duplication.cpp" "tests/CMakeFiles/chf_tests.dir/transform/test_duplication.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/transform/test_duplication.cpp.o.d"
+  "/root/repo/tests/transform/test_scalar_opts.cpp" "tests/CMakeFiles/chf_tests.dir/transform/test_scalar_opts.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/transform/test_scalar_opts.cpp.o.d"
+  "/root/repo/tests/workloads/test_workloads.cpp" "tests/CMakeFiles/chf_tests.dir/workloads/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/workloads/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
