@@ -1,20 +1,40 @@
 /**
  * @file
- * Compiler-pass throughput (google-benchmark): how fast are the
- * analyses, the scalar optimizations, formation, and the simulators on
- * a representative workload. Useful for catching algorithmic
- * regressions in the compiler itself.
+ * Compiler-pass throughput: how fast are the analyses, the scalar
+ * optimizations, formation, and the simulators. Useful for catching
+ * algorithmic regressions in the compiler itself.
+ *
+ * Three modes:
+ *
+ *  - default: google-benchmark micro suite, then a formation wall-time
+ *    sweep over every speclike workload with the analysis cache on and
+ *    off, written to BENCH_pass_speed.json for trajectory tracking.
+ *  - --json-only: skip the micro suite, emit only the JSON sweep.
+ *  - --smoke <baseline.json>: time formation of the largest speclike
+ *    workload (cache on, best of 3) and fail if it regressed more than
+ *    2x against the recorded baseline. Wired into ctest so compile-time
+ *    regressions fail tier-1. Skipped in unoptimized builds.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "analysis/dominators.h"
 #include "analysis/liveness.h"
 #include "analysis/loops.h"
 #include "backend/scheduler.h"
 #include "hyperblock/phase_ordering.h"
+#include "report/block_report.h"
 #include "sim/functional_sim.h"
 #include "sim/timing_sim.h"
+#include "support/timer.h"
 #include "transform/optimize.h"
 #include "transform/simplify_cfg.h"
 #include "workloads/workloads.h"
@@ -92,21 +112,42 @@ BM_ScalarOptimize(benchmark::State &state)
 BENCHMARK(BM_ScalarOptimize);
 
 void
+runFormation(Program &program)
+{
+    ProfileData profile; // frequencies already annotated on branches
+    CompileOptions options;
+    options.pipeline = Pipeline::IUPO_fused;
+    options.runBackend = false;
+    compileProgram(program, profile, options);
+}
+
+void
 BM_ConvergentFormation(benchmark::State &state)
 {
     const Program &p = preparedWorkload();
-    ProfileData profile; // frequencies already annotated on branches
     for (auto _ : state) {
         state.PauseTiming();
         Program copy = cloneProgram(p);
         state.ResumeTiming();
-        CompileOptions options;
-        options.pipeline = Pipeline::IUPO_fused;
-        options.runBackend = false;
-        compileProgram(copy, profile, options);
+        runFormation(copy);
     }
 }
 BENCHMARK(BM_ConvergentFormation);
+
+void
+BM_ConvergentFormationNoCache(benchmark::State &state)
+{
+    const Program &p = preparedWorkload();
+    setenv("CHF_DISABLE_ANALYSIS_CACHE", "1", 1);
+    for (auto _ : state) {
+        state.PauseTiming();
+        Program copy = cloneProgram(p);
+        state.ResumeTiming();
+        runFormation(copy);
+    }
+    unsetenv("CHF_DISABLE_ANALYSIS_CACHE");
+}
+BENCHMARK(BM_ConvergentFormationNoCache);
 
 void
 BM_FullPipeline(benchmark::State &state)
@@ -167,6 +208,280 @@ BM_TimingSimulator(benchmark::State &state)
 }
 BENCHMARK(BM_TimingSimulator);
 
+// ----- formation wall-time sweep (BENCH_pass_speed.json) -----
+
+struct FormationTiming
+{
+    std::string name;
+    size_t blocks = 0;
+    size_t insts = 0;
+    int64_t cachedUs = 0;
+    int64_t nocacheUs = 0;
+    int64_t merges = 0;
+};
+
+/**
+ * Synthetic scaled workload: @p regions independent low-trip loops,
+ * each with two branch diamonds. The speclike suite tops out around 40
+ * blocks, where a full analysis rebuild is almost free; this produces
+ * the several-hundred-block functions (as whole SPEC functions would)
+ * where per-query rebuild cost dominates formation and the incremental
+ * cache pays off.
+ */
+Workload
+synthWorkload(int regions)
+{
+    std::ostringstream src;
+    src << "int data[1024];\n"
+        << "int main() {\n"
+        << "  int acc = 0;\n"
+        << "  for (int i = 0; i < 1024; i += 1) {"
+           " data[i] = (i * 37) % 251; }\n";
+    for (int k = 0; k < regions; ++k) {
+        src << "  {\n"
+            << "    int i" << k << " = 0;\n"
+            << "    while (i" << k << " < 6) {\n"
+            << "      int t = data[(i" << k << " * 17 + " << k
+            << ") & 1023];\n"
+            << "      if ((t & 1) == 1) { acc += t * 3; }"
+               " else { acc -= t + " << k << "; }\n"
+            << "      if ((t & 6) == 2) { acc += i" << k << " * 5; }\n"
+            << "      i" << k << " += 1;\n"
+            << "    }\n"
+            << "  }\n";
+    }
+    src << "  return acc;\n}\n";
+
+    Workload w;
+    w.name = "synth" + std::to_string(regions);
+    w.note = "synthetic scaled formation stress";
+    w.source = src.str();
+    return w;
+}
+
+/** Resolve registry workloads and the synthetic "synthN" names. */
+bool
+buildNamed(const std::string &name, Program *out)
+{
+    if (name.rfind("synth", 0) == 0) {
+        int regions = std::atoi(name.c_str() + 5);
+        if (regions <= 0)
+            return false;
+        *out = buildWorkload(synthWorkload(regions));
+        return true;
+    }
+    const Workload *w = findWorkload(name);
+    if (!w)
+        return false;
+    *out = buildWorkload(*w);
+    return true;
+}
+
+/** Formation time (the usFormation counter), best of @p repeats. */
+int64_t
+timeFormationUs(const Program &prepared, bool use_cache, int repeats,
+                int64_t *merges_out = nullptr)
+{
+    if (use_cache)
+        unsetenv("CHF_DISABLE_ANALYSIS_CACHE");
+    else
+        setenv("CHF_DISABLE_ANALYSIS_CACHE", "1", 1);
+
+    int64_t best = -1;
+    for (int r = 0; r < repeats; ++r) {
+        Program copy = cloneProgram(prepared);
+        ProfileData profile;
+        CompileOptions options;
+        options.pipeline = Pipeline::IUPO_fused;
+        options.runBackend = false;
+        CompileResult result = compileProgram(copy, profile, options);
+        int64_t us = result.stats.get("usFormation");
+        if (best < 0 || us < best)
+            best = us;
+        if (merges_out)
+            *merges_out = result.stats.get("blocksMerged");
+    }
+    unsetenv("CHF_DISABLE_ANALYSIS_CACHE");
+    return best;
+}
+
+std::vector<FormationTiming>
+sweepFormation(int repeats)
+{
+    std::vector<Workload> suite = speclikeBenchmarks();
+    suite.push_back(synthWorkload(64));
+    std::vector<FormationTiming> out;
+    for (const Workload &w : suite) {
+        Program prepared = buildWorkload(w);
+        prepareProgram(prepared);
+        FormationTiming t;
+        t.name = w.name;
+        t.blocks = prepared.fn.numBlocks();
+        t.insts = prepared.fn.totalInsts();
+        t.cachedUs = timeFormationUs(prepared, true, repeats, &t.merges);
+        t.nocacheUs = timeFormationUs(prepared, false, repeats);
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+const FormationTiming *
+largestWorkload(const std::vector<FormationTiming> &sweep)
+{
+    const FormationTiming *largest = nullptr;
+    for (const auto &t : sweep) {
+        if (!largest || t.insts > largest->insts)
+            largest = &t;
+    }
+    return largest;
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<FormationTiming> &sweep)
+{
+    std::ostringstream os;
+    os << "{\n  \"bench\": \"pass_speed\",\n  \"unit\": \"us\",\n"
+       << "  \"workloads\": [\n";
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        const auto &t = sweep[i];
+        double speedup = t.cachedUs > 0
+                             ? static_cast<double>(t.nocacheUs) /
+                                   static_cast<double>(t.cachedUs)
+                             : 0.0;
+        os << "    {\"name\": \"" << t.name << "\", \"blocks\": "
+           << t.blocks << ", \"insts\": " << t.insts
+           << ", \"merges\": " << t.merges
+           << ", \"formation_us_cached\": " << t.cachedUs
+           << ", \"formation_us_nocache\": " << t.nocacheUs
+           << ", \"speedup\": " << speedup << "}"
+           << (i + 1 < sweep.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::ofstream f(path);
+    f << os.str();
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+/** Pull "key": <number> out of a small JSON file; -1 if absent. */
+int64_t
+jsonInt(const std::string &text, const std::string &key)
+{
+    std::string needle = "\"" + key + "\"";
+    size_t at = text.find(needle);
+    if (at == std::string::npos)
+        return -1;
+    at = text.find(':', at);
+    if (at == std::string::npos)
+        return -1;
+    return std::strtoll(text.c_str() + at + 1, nullptr, 10);
+}
+
+std::string
+jsonString(const std::string &text, const std::string &key)
+{
+    std::string needle = "\"" + key + "\"";
+    size_t at = text.find(needle);
+    if (at == std::string::npos)
+        return "";
+    at = text.find(':', at);
+    size_t open = text.find('"', at);
+    size_t close = text.find('"', open + 1);
+    if (open == std::string::npos || close == std::string::npos)
+        return "";
+    return text.substr(open + 1, close - open - 1);
+}
+
+/**
+ * Smoke mode for ctest: time cached formation of the largest speclike
+ * workload and compare against the recorded baseline. A >2x regression
+ * fails the test.
+ */
+int
+runSmoke(const char *baseline_path)
+{
+#ifndef NDEBUG
+    std::fprintf(stderr,
+                 "formation_speed_smoke: skipped (unoptimized build; "
+                 "timings are not comparable to the baseline)\n");
+    (void)baseline_path;
+    return 0;
+#else
+    std::ifstream f(baseline_path);
+    if (!f) {
+        std::fprintf(stderr, "cannot read baseline %s\n", baseline_path);
+        return 1;
+    }
+    std::stringstream buf;
+    buf << f.rdbuf();
+    std::string baseline = buf.str();
+    std::string name = jsonString(baseline, "workload");
+    int64_t baseline_us = jsonInt(baseline, "formation_us_cached");
+    if (name.empty() || baseline_us <= 0) {
+        std::fprintf(stderr, "malformed baseline %s\n", baseline_path);
+        return 1;
+    }
+    Program prepared;
+    if (!buildNamed(name, &prepared)) {
+        std::fprintf(stderr, "baseline workload '%s' not found\n",
+                     name.c_str());
+        return 1;
+    }
+    prepareProgram(prepared);
+    int64_t us = timeFormationUs(prepared, true, 3);
+    std::fprintf(stderr,
+                 "formation_speed_smoke: %s formation %lld us "
+                 "(baseline %lld us, limit %lld us)\n",
+                 name.c_str(), static_cast<long long>(us),
+                 static_cast<long long>(baseline_us),
+                 static_cast<long long>(2 * baseline_us));
+    if (us > 2 * baseline_us) {
+        std::fprintf(stderr,
+                     "FAIL: formation regressed >2x against the "
+                     "recorded baseline (%s)\n",
+                     baseline_path);
+        return 1;
+    }
+    return 0;
+#endif
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool json_only = false;
+    const char *smoke_baseline = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json-only") == 0)
+            json_only = true;
+        else if (std::strcmp(argv[i], "--smoke") == 0 && i + 1 < argc)
+            smoke_baseline = argv[++i];
+    }
+
+    if (smoke_baseline)
+        return runSmoke(smoke_baseline);
+
+    if (!json_only) {
+        benchmark::Initialize(&argc, argv);
+        benchmark::RunSpecifiedBenchmarks();
+    }
+
+    std::vector<FormationTiming> sweep = sweepFormation(3);
+    writeJson("BENCH_pass_speed.json", sweep);
+    if (const FormationTiming *big = largestWorkload(sweep)) {
+        double speedup =
+            big->cachedUs > 0
+                ? static_cast<double>(big->nocacheUs) /
+                      static_cast<double>(big->cachedUs)
+                : 0.0;
+        std::fprintf(stderr,
+                     "largest workload %s: cached %lld us, "
+                     "no-cache %lld us (%.1fx)\n",
+                     big->name.c_str(),
+                     static_cast<long long>(big->cachedUs),
+                     static_cast<long long>(big->nocacheUs), speedup);
+    }
+    return 0;
+}

@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(formation_speed_smoke "/root/repo/build/bench/pass_speed" "--smoke" "/root/repo/bench/pass_speed_baseline.json")
+set_tests_properties(formation_speed_smoke PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")

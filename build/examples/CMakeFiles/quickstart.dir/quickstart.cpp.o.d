@@ -210,10 +210,12 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/hyperblock/convergent.h /root/repo/src/hyperblock/merge.h \
- /root/repo/src/hyperblock/constraints.h \
+ /root/repo/src/analysis/analysis_manager.h \
+ /root/repo/src/analysis/dominators.h /root/repo/src/analysis/liveness.h \
  /root/repo/src/support/bitvector.h /usr/include/c++/12/cstddef \
- /root/repo/src/support/stats.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/hyperblock/policy.h \
- /root/repo/src/ir/printer.h /root/repo/src/sim/functional_sim.h \
- /root/repo/src/sim/timing_sim.h /root/repo/src/backend/scheduler.h \
- /root/repo/src/sim/predictor.h
+ /root/repo/src/analysis/loops.h /root/repo/src/support/stats.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/hyperblock/constraints.h \
+ /root/repo/src/hyperblock/policy.h /root/repo/src/ir/printer.h \
+ /root/repo/src/sim/functional_sim.h /root/repo/src/sim/timing_sim.h \
+ /root/repo/src/backend/scheduler.h /root/repo/src/sim/predictor.h

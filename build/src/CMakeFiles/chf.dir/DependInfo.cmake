@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analysis_manager.cpp" "src/CMakeFiles/chf.dir/analysis/analysis_manager.cpp.o" "gcc" "src/CMakeFiles/chf.dir/analysis/analysis_manager.cpp.o.d"
   "/root/repo/src/analysis/dominators.cpp" "src/CMakeFiles/chf.dir/analysis/dominators.cpp.o" "gcc" "src/CMakeFiles/chf.dir/analysis/dominators.cpp.o.d"
   "/root/repo/src/analysis/liveness.cpp" "src/CMakeFiles/chf.dir/analysis/liveness.cpp.o" "gcc" "src/CMakeFiles/chf.dir/analysis/liveness.cpp.o.d"
   "/root/repo/src/analysis/loops.cpp" "src/CMakeFiles/chf.dir/analysis/loops.cpp.o" "gcc" "src/CMakeFiles/chf.dir/analysis/loops.cpp.o.d"
@@ -43,6 +44,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/fatal.cpp" "src/CMakeFiles/chf.dir/support/fatal.cpp.o" "gcc" "src/CMakeFiles/chf.dir/support/fatal.cpp.o.d"
   "/root/repo/src/support/stats.cpp" "src/CMakeFiles/chf.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/chf.dir/support/stats.cpp.o.d"
   "/root/repo/src/support/table.cpp" "src/CMakeFiles/chf.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/chf.dir/support/table.cpp.o.d"
+  "/root/repo/src/support/timer.cpp" "src/CMakeFiles/chf.dir/support/timer.cpp.o" "gcc" "src/CMakeFiles/chf.dir/support/timer.cpp.o.d"
   "/root/repo/src/transform/cfg_utils.cpp" "src/CMakeFiles/chf.dir/transform/cfg_utils.cpp.o" "gcc" "src/CMakeFiles/chf.dir/transform/cfg_utils.cpp.o.d"
   "/root/repo/src/transform/copy_prop.cpp" "src/CMakeFiles/chf.dir/transform/copy_prop.cpp.o" "gcc" "src/CMakeFiles/chf.dir/transform/copy_prop.cpp.o.d"
   "/root/repo/src/transform/dce.cpp" "src/CMakeFiles/chf.dir/transform/dce.cpp.o" "gcc" "src/CMakeFiles/chf.dir/transform/dce.cpp.o.d"

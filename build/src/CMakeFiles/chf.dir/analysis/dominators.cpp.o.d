@@ -200,6 +200,13 @@ src/CMakeFiles/chf.dir/analysis/dominators.cpp.o: \
  /root/repo/src/ir/basic_block.h /root/repo/src/ir/instruction.h \
  /usr/include/c++/12/array /root/repo/src/ir/opcode.h \
  /root/repo/src/ir/value.h /usr/include/c++/12/limits \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/support/fatal.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

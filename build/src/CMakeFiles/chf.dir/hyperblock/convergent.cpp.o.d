@@ -198,23 +198,26 @@ src/CMakeFiles/chf.dir/hyperblock/convergent.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/hyperblock/constraints.h /usr/include/c++/12/array \
- /root/repo/src/ir/function.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/ir/basic_block.h \
- /root/repo/src/ir/instruction.h /root/repo/src/ir/opcode.h \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/analysis/analysis_manager.h \
+ /root/repo/src/analysis/dominators.h /root/repo/src/ir/function.h \
+ /root/repo/src/ir/basic_block.h /root/repo/src/ir/instruction.h \
+ /usr/include/c++/12/array /root/repo/src/ir/opcode.h \
  /root/repo/src/ir/value.h /usr/include/c++/12/limits \
- /root/repo/src/support/bitvector.h /usr/include/c++/12/cstddef \
+ /root/repo/src/analysis/liveness.h /root/repo/src/support/bitvector.h \
+ /usr/include/c++/12/cstddef /root/repo/src/analysis/loops.h \
  /root/repo/src/support/stats.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/hyperblock/policy.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/hyperblock/constraints.h \
+ /root/repo/src/hyperblock/policy.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/analysis/loops.h /root/repo/src/analysis/dominators.h \
  /root/repo/src/transform/cfg_utils.h

@@ -198,21 +198,26 @@ src/CMakeFiles/chf.dir/hyperblock/merge.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/hyperblock/constraints.h /usr/include/c++/12/array \
- /root/repo/src/ir/function.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/ir/basic_block.h \
- /root/repo/src/ir/instruction.h /root/repo/src/ir/opcode.h \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/analysis/analysis_manager.h \
+ /root/repo/src/analysis/dominators.h /root/repo/src/ir/function.h \
+ /root/repo/src/ir/basic_block.h /root/repo/src/ir/instruction.h \
+ /usr/include/c++/12/array /root/repo/src/ir/opcode.h \
  /root/repo/src/ir/value.h /usr/include/c++/12/limits \
- /root/repo/src/support/bitvector.h /usr/include/c++/12/cstddef \
+ /root/repo/src/analysis/liveness.h /root/repo/src/support/bitvector.h \
+ /usr/include/c++/12/cstddef /root/repo/src/analysis/loops.h \
  /root/repo/src/support/stats.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/analysis/liveness.h \
- /root/repo/src/analysis/loops.h /root/repo/src/analysis/dominators.h \
- /root/repo/src/support/fatal.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/hyperblock/constraints.h /root/repo/src/support/fatal.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/support/timer.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/transform/cfg_utils.h \
  /root/repo/src/transform/if_convert.h \
  /root/repo/src/transform/optimize.h \

@@ -206,25 +206,30 @@ src/CMakeFiles/chf.dir/hyperblock/phase_ordering.cpp.o: \
  /usr/include/c++/12/array /root/repo/src/ir/opcode.h \
  /root/repo/src/ir/value.h /usr/include/c++/12/limits \
  /root/repo/src/hyperblock/convergent.h /root/repo/src/hyperblock/merge.h \
- /root/repo/src/hyperblock/constraints.h \
+ /root/repo/src/analysis/analysis_manager.h \
+ /root/repo/src/analysis/dominators.h /root/repo/src/analysis/liveness.h \
  /root/repo/src/support/bitvector.h /usr/include/c++/12/cstddef \
- /root/repo/src/support/stats.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/hyperblock/policy.h \
- /root/repo/src/ir/program.h /root/repo/src/sim/memory.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/analysis/loops.h /root/repo/src/support/stats.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/hyperblock/constraints.h \
+ /root/repo/src/hyperblock/policy.h /root/repo/src/ir/program.h \
+ /root/repo/src/sim/memory.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/analysis/loops.h /root/repo/src/analysis/dominators.h \
  /root/repo/src/backend/fanout.h /root/repo/src/backend/regalloc.h \
  /root/repo/src/hyperblock/vliw_policy.h /root/repo/src/ir/verifier.h \
  /root/repo/src/sim/functional_sim.h /root/repo/src/support/fatal.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/support/timer.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/transform/cfg_utils.h \
  /root/repo/src/transform/for_loop_unroll.h \
  /root/repo/src/transform/head_duplicate.h \

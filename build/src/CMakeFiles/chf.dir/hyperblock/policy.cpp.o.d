@@ -200,4 +200,9 @@ src/CMakeFiles/chf.dir/hyperblock/policy.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/ir/function.h \
  /root/repo/src/ir/basic_block.h /root/repo/src/ir/instruction.h \
  /usr/include/c++/12/array /root/repo/src/ir/opcode.h \
- /root/repo/src/ir/value.h /usr/include/c++/12/limits
+ /root/repo/src/ir/value.h /usr/include/c++/12/limits \
+ /root/repo/src/analysis/analysis_manager.h \
+ /root/repo/src/analysis/dominators.h /root/repo/src/analysis/liveness.h \
+ /root/repo/src/support/bitvector.h /usr/include/c++/12/cstddef \
+ /root/repo/src/analysis/loops.h /root/repo/src/support/stats.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h

@@ -237,6 +237,10 @@ src/CMakeFiles/chf.dir/hyperblock/vliw_policy.cpp.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/analysis/loops.h \
- /root/repo/src/analysis/dominators.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/analysis/analysis_manager.h \
+ /root/repo/src/analysis/dominators.h /root/repo/src/analysis/liveness.h \
+ /root/repo/src/support/bitvector.h /usr/include/c++/12/cstddef \
+ /root/repo/src/analysis/loops.h /root/repo/src/support/stats.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/transform/cfg_utils.h

@@ -9,11 +9,13 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/analysis/test_analysis.cpp" "tests/CMakeFiles/chf_tests.dir/analysis/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/analysis/test_analysis.cpp.o.d"
+  "/root/repo/tests/analysis/test_analysis_manager.cpp" "tests/CMakeFiles/chf_tests.dir/analysis/test_analysis_manager.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/analysis/test_analysis_manager.cpp.o.d"
   "/root/repo/tests/backend/test_backend.cpp" "tests/CMakeFiles/chf_tests.dir/backend/test_backend.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/backend/test_backend.cpp.o.d"
   "/root/repo/tests/backend/test_extensions.cpp" "tests/CMakeFiles/chf_tests.dir/backend/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/backend/test_extensions.cpp.o.d"
   "/root/repo/tests/frontend/test_frontend.cpp" "tests/CMakeFiles/chf_tests.dir/frontend/test_frontend.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/frontend/test_frontend.cpp.o.d"
   "/root/repo/tests/frontend/test_frontend_errors.cpp" "tests/CMakeFiles/chf_tests.dir/frontend/test_frontend_errors.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/frontend/test_frontend_errors.cpp.o.d"
   "/root/repo/tests/hyperblock/test_hyperblock.cpp" "tests/CMakeFiles/chf_tests.dir/hyperblock/test_hyperblock.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/hyperblock/test_hyperblock.cpp.o.d"
+  "/root/repo/tests/hyperblock/test_merge_trace.cpp" "tests/CMakeFiles/chf_tests.dir/hyperblock/test_merge_trace.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/hyperblock/test_merge_trace.cpp.o.d"
   "/root/repo/tests/integration/test_fuzz.cpp" "tests/CMakeFiles/chf_tests.dir/integration/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/integration/test_fuzz.cpp.o.d"
   "/root/repo/tests/integration/test_pipelines.cpp" "tests/CMakeFiles/chf_tests.dir/integration/test_pipelines.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/integration/test_pipelines.cpp.o.d"
   "/root/repo/tests/ir/test_ir.cpp" "tests/CMakeFiles/chf_tests.dir/ir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/chf_tests.dir/ir/test_ir.cpp.o.d"

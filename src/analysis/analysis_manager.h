@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Per-function analysis cache with fine-grained invalidation.
+ *
+ * Convergent hyperblock formation (paper Fig. 5) tests every candidate
+ * merge in scratch space, so formation speed is dominated by how
+ * cheaply loop / predecessor / liveness queries can be re-answered
+ * after each CFG mutation. The AnalysisManager keeps one snapshot of
+ * each analysis alive across queries and updates it from explicit
+ * mutation events instead of rebuilding from scratch:
+ *
+ *  - PredecessorMap: patched edge-by-edge (exact, ordered like
+ *    Function::predecessors()).
+ *  - Liveness: re-solved only over the region that can reach a changed
+ *    block (exact; see Liveness::update).
+ *  - DominatorTree / LoopInfo: patched in place for the simple-merge
+ *    splice (blockAbsorbed -- the common case during formation);
+ *    invalidated on any other edge change and rebuilt lazily on the
+ *    next query.
+ *
+ * Every CFG-mutating caller must report what it did through one of the
+ * invalidation events below; the contract is documented in DESIGN.md
+ * ("Analysis caching & invalidation"). Results are bit-identical to
+ * fresh per-query construction -- CHF_DISABLE_ANALYSIS_CACHE=1 turns
+ * the cache off to cross-check (see tests/hyperblock/
+ * test_merge_trace.cpp).
+ */
+
+#ifndef CHF_ANALYSIS_ANALYSIS_MANAGER_H
+#define CHF_ANALYSIS_ANALYSIS_MANAGER_H
+
+#include <memory>
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "analysis/liveness.h"
+#include "analysis/loops.h"
+#include "ir/function.h"
+#include "support/stats.h"
+
+namespace chf {
+
+/** Cached analyses for one function, kept current by mutation events. */
+class AnalysisManager
+{
+  public:
+    /** Caching on unless CHF_DISABLE_ANALYSIS_CACHE=1 is set. */
+    explicit AnalysisManager(Function &fn);
+
+    /** Explicit cache control (tests, differential runs). */
+    AnalysisManager(Function &fn, bool enable_cache);
+
+    AnalysisManager(const AnalysisManager &) = delete;
+    AnalysisManager &operator=(const AnalysisManager &) = delete;
+
+    Function &function() { return fn; }
+    bool cachingEnabled() const { return cacheEnabled; }
+
+    /** False when CHF_DISABLE_ANALYSIS_CACHE=1 is in the environment. */
+    static bool cacheEnabledByEnv();
+
+    // --- queries (lazily build or refresh the cached snapshot) ---
+    const DominatorTree &dominators();
+    const LoopInfo &loops();
+    const Liveness &liveness();
+    const PredecessorMap &predecessors();
+
+    // --- invalidation events ---
+
+    /** Drop everything (block table grew, bulk rewrite, unknown edit). */
+    void invalidateAll();
+
+    /**
+     * Block @p id's instructions were replaced; @p old_succs is its
+     * successor set from before the rewrite. Detects whether the edge
+     * set actually changed and invalidates accordingly.
+     */
+    void branchesRewritten(BlockId id,
+                           const std::vector<BlockId> &old_succs);
+
+    /**
+     * Block @p id was removed; @p old_succs is the successor set it had
+     * when it was still alive. Callers must have already rewritten any
+     * branches into @p id (Function::removeBlock leaves a hole).
+     */
+    void blockRemoved(BlockId id, const std::vector<BlockId> &old_succs);
+
+    /**
+     * A simple merge committed: @p hb (the single predecessor of @p s)
+     * absorbed @p s's instructions and @p s was removed. @p hb_old_succs
+     * and @p s_old_succs are the successor sets both blocks had before
+     * the commit. When @p hb's new successor set is exactly the splice
+     * (hb_old_succs - {s}) U s_old_succs, every other block's dominators
+     * and loop memberships are unchanged -- the dominator tree and loop
+     * info are patched in O(changed) instead of being invalidated. Any
+     * other shape (e.g. optimization folded a branch during the merge)
+     * falls back to edge invalidation.
+     */
+    void blockAbsorbed(BlockId hb, BlockId s,
+                       const std::vector<BlockId> &hb_old_succs,
+                       const std::vector<BlockId> &s_old_succs);
+
+    /**
+     * Block @p id's instructions changed but its successor set did not
+     * (pure dataflow edit). Cheaper than branchesRewritten: dominators,
+     * loops, and predecessors all survive.
+     */
+    void instructionsRewritten(BlockId id);
+
+    /** Cache-activity counters (builds / hits / patches / updates). */
+    const StatSet &stats() const { return counters; }
+
+  private:
+    void patchPredecessors(BlockId id,
+                           const std::vector<BlockId> &old_succs,
+                           const std::vector<BlockId> &new_succs);
+
+    Function &fn;
+    bool cacheEnabled;
+
+    std::unique_ptr<DominatorTree> dom;
+    std::unique_ptr<LoopInfo> loopInfo;
+    std::unique_ptr<Liveness> live;
+
+    PredecessorMap predsCache;
+    bool predsValid = false;
+
+    /** Blocks whose dataflow facts changed since `live` was computed. */
+    std::vector<BlockId> pendingLive;
+
+    StatSet counters;
+};
+
+} // namespace chf
+
+#endif // CHF_ANALYSIS_ANALYSIS_MANAGER_H

@@ -7,17 +7,31 @@
 namespace chf {
 
 LoopInfo::LoopInfo(const Function &fn)
-    : domTree(fn)
+    : ownedDom(std::make_unique<DominatorTree>(fn)),
+      domTree(ownedDom.get())
+{
+    build(fn, fn.predecessors());
+}
+
+LoopInfo::LoopInfo(const Function &fn, const DominatorTree &dom,
+                   const PredecessorMap &preds)
+    : domTree(&dom)
+{
+    build(fn, preds);
+}
+
+void
+LoopInfo::build(const Function &fn, const PredecessorMap &preds)
 {
     blockDepth.assign(fn.blockTableSize(), 0);
 
     // Find back edges and group them by header.
     std::vector<std::pair<BlockId, BlockId>> back_edges;
     for (BlockId id : fn.blockIds()) {
-        if (!domTree.reachable(id))
+        if (!domTree->reachable(id))
             continue;
         for (BlockId succ : fn.block(id)->successors()) {
-            if (domTree.dominates(succ, id))
+            if (domTree->dominates(succ, id))
                 back_edges.emplace_back(id, succ);
         }
     }
@@ -32,7 +46,6 @@ LoopInfo::LoopInfo(const Function &fn)
         }
     }
 
-    PredecessorMap preds = fn.predecessors();
     for (BlockId header : headers) {
         Loop loop;
         loop.header = header;
@@ -54,7 +67,7 @@ LoopInfo::LoopInfo(const Function &fn)
             BlockId b = worklist.back();
             worklist.pop_back();
             for (BlockId p : preds[b]) {
-                if (!domTree.reachable(p) || in_loop[p])
+                if (!domTree->reachable(p) || in_loop[p])
                     continue;
                 in_loop[p] = 1;
                 loop.blocks.push_back(p);
@@ -75,10 +88,38 @@ LoopInfo::LoopInfo(const Function &fn)
         loop.depth = blockDepth[loop.header];
 }
 
+void
+LoopInfo::applyBlockAbsorbed(BlockId hb, BlockId s)
+{
+    // s cannot be a header: a simple merge requires its only pred's
+    // edge not be a back edge, so no loop disappears and no depth
+    // changes. Bodies lose s; a latch s becomes a latch hb (hb
+    // inherited the back edge). Keep blocks and latches in the
+    // ascending order a fresh build produces.
+    for (Loop &loop : allLoops) {
+        auto pos = std::lower_bound(loop.blocks.begin(),
+                                    loop.blocks.end(), s);
+        if (pos != loop.blocks.end() && *pos == s)
+            loop.blocks.erase(pos);
+
+        auto &latches = loop.latches;
+        auto latch = std::find(latches.begin(), latches.end(), s);
+        if (latch != latches.end()) {
+            latches.erase(latch);
+            auto at = std::lower_bound(latches.begin(), latches.end(),
+                                       hb);
+            if (at == latches.end() || *at != hb)
+                latches.insert(at, hb);
+        }
+    }
+    if (s < blockDepth.size())
+        blockDepth[s] = 0;
+}
+
 bool
 LoopInfo::isBackEdge(BlockId from, BlockId to) const
 {
-    return domTree.reachable(from) && domTree.dominates(to, from);
+    return domTree->reachable(from) && domTree->dominates(to, from);
 }
 
 bool

@@ -11,6 +11,7 @@
 #ifndef CHF_ANALYSIS_LOOPS_H
 #define CHF_ANALYSIS_LOOPS_H
 
+#include <memory>
 #include <vector>
 
 #include "analysis/dominators.h"
@@ -49,6 +50,24 @@ class LoopInfo
   public:
     explicit LoopInfo(const Function &fn);
 
+    /**
+     * Build on top of an existing dominator tree and predecessor map
+     * (typically the AnalysisManager's cached copies) instead of
+     * recomputing both. @p dom and @p preds must describe the current
+     * CFG, and @p dom must outlive this LoopInfo.
+     */
+    LoopInfo(const Function &fn, const DominatorTree &dom,
+             const PredecessorMap &preds);
+
+    /**
+     * Patch for a committed simple merge (see
+     * DominatorTree::applyBlockAbsorbed): @p s was spliced out of every
+     * CFG walk, so the loops are the same loops minus @p s, with @p hb
+     * taking over any back edge @p s carried. Call after patching the
+     * borrowed dominator tree.
+     */
+    void applyBlockAbsorbed(BlockId hb, BlockId s);
+
     /** True if @p from -> @p to is a back edge (to dominates from). */
     bool isBackEdge(BlockId from, BlockId to) const;
 
@@ -66,10 +85,13 @@ class LoopInfo
 
     const std::vector<Loop> &loops() const { return allLoops; }
 
-    const DominatorTree &dominators() const { return domTree; }
+    const DominatorTree &dominators() const { return *domTree; }
 
   private:
-    DominatorTree domTree;
+    void build(const Function &fn, const PredecessorMap &preds);
+
+    std::unique_ptr<DominatorTree> ownedDom; // set by the fn-only ctor
+    const DominatorTree *domTree;
     std::vector<Loop> allLoops;
     std::vector<int> blockDepth; // by block id
 };

@@ -68,7 +68,7 @@ allocateRegisters(Program &program, const RegAllocOptions &options)
     uint32_t nv = fn.numVregs();
 
     // Cross-block values: live into any block, plus the arguments.
-    BitVector cross(nv);
+    BitVector cross(liveness.universe());
     for (BlockId id : fn.blockIds())
         cross.unionWith(liveness.liveIn(id));
     for (Vreg arg : fn.argRegs) {

@@ -1,5 +1,6 @@
 #include "hyperblock/constraints.h"
 
+#include <algorithm>
 #include <map>
 
 #include "analysis/liveness.h"
@@ -16,7 +17,11 @@ analyzeBlock(const Function &fn, const BasicBlock &bb,
     res.insts = bb.size();
     res.memOps = bb.memoryOpCount();
 
-    uint32_t nv = fn.numVregs();
+    // The caller's live_out may be sized to a (padded) liveness
+    // universe larger than the function's register count; follow it so
+    // the set algebra below stays size-consistent.
+    uint32_t nv = std::max(fn.numVregs(),
+                           static_cast<uint32_t>(live_out.size()));
 
     // Distinct upward-exposed reads (register file reads).
     BitVector uses = blockUses(bb, nv);

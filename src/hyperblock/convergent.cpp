@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "analysis/analysis_manager.h"
 #include "analysis/loops.h"
 #include "transform/cfg_utils.h"
 
@@ -13,11 +14,13 @@ namespace {
 
 /** Build candidate descriptors for the current successors of @p hb. */
 std::vector<MergeCandidate>
-describeCandidates(Function &fn, BlockId hb,
+describeCandidates(MergeEngine &engine, BlockId hb,
                    const std::vector<std::pair<BlockId, int>> &pending)
 {
-    LoopInfo loops(fn);
-    PredecessorMap preds = fn.predecessors();
+    Function &fn = engine.function();
+    AnalysisManager &am = engine.analyses();
+    const LoopInfo &loops = am.loops();
+    const PredecessorMap &preds = am.predecessors();
     const BasicBlock *hb_block = fn.block(hb);
 
     std::vector<MergeCandidate> out;
@@ -54,24 +57,28 @@ expandBlock(MergeEngine &engine, Policy &policy, BlockId seed,
     if (!fn.block(seed))
         return 0;
 
-    policy.beginBlock(fn, seed);
+    policy.beginBlock(engine.analyses(), seed);
+
+    // Read the trace switch once, not per merge-loop iteration.
+    const bool trace_merges =
+        std::getenv("CHF_TRACE_MERGES") != nullptr;
 
     // Pending candidates: (block, discovery order). Duplicates are
-    // avoided; failed candidates are dropped but may be rediscovered
-    // after a later successful merge, as in the paper's pseudocode
-    // (candidates := candidates U Successors(S)).
+    // avoided via the membership flags; failed candidates are dropped
+    // but may be rediscovered after a later successful merge, as in the
+    // paper's pseudocode (candidates := candidates U Successors(S)).
     std::vector<std::pair<BlockId, int>> pending;
+    std::vector<uint8_t> in_pending(fn.blockTableSize(), 0);
     int discovery = 0;
 
     auto add_successors = [&]() {
         for (BlockId succ : fn.block(seed)->successors()) {
-            bool already = false;
-            for (const auto &[b, o] : pending) {
-                if (b == succ)
-                    already = true;
-            }
-            if (!already)
+            if (succ >= in_pending.size())
+                in_pending.resize(fn.blockTableSize(), 0);
+            if (!in_pending[succ]) {
+                in_pending[succ] = 1;
                 pending.emplace_back(succ, discovery++);
+            }
         }
     };
     add_successors();
@@ -79,7 +86,7 @@ expandBlock(MergeEngine &engine, Policy &policy, BlockId seed,
     size_t merges = 0;
     while (!pending.empty() && merges < max_merges) {
         std::vector<MergeCandidate> candidates =
-            describeCandidates(fn, seed, pending);
+            describeCandidates(engine, seed, pending);
         if (candidates.empty())
             break;
 
@@ -92,10 +99,11 @@ expandBlock(MergeEngine &engine, Policy &policy, BlockId seed,
                                    [&](const auto &p) {
                                        return p.first == chosen;
                                    }));
+        in_pending[chosen] = 0;
 
         MergeOutcome outcome = engine.tryMerge(seed, chosen);
         // Set CHF_TRACE_MERGES=1 to watch expansion decisions.
-        if (std::getenv("CHF_TRACE_MERGES")) {
+        if (trace_merges) {
             std::fprintf(stderr,
                          "expand bb%u <- bb%u (freq %.0f/%.0f): %s%s\n",
                          seed, chosen, candidates[pick].entryFreq,
@@ -130,6 +138,7 @@ formHyperblocks(Function &fn, Policy &policy,
 
     FormationResult result;
     result.stats = engine.stats();
+    result.stats.merge(engine.analyses().stats());
     return result;
 }
 

@@ -3,6 +3,7 @@
 #include "analysis/liveness.h"
 #include "analysis/loops.h"
 #include "support/fatal.h"
+#include "support/timer.h"
 #include "transform/cfg_utils.h"
 #include "transform/if_convert.h"
 #include "transform/optimize.h"
@@ -23,21 +24,47 @@ mergeKindName(MergeKind kind)
 }
 
 MergeEngine::MergeEngine(Function &fn, const MergeOptions &options)
-    : fn(fn), opts(options)
+    : fn(fn), opts(options),
+      am(fn, options.useAnalysisCache &&
+             AnalysisManager::cacheEnabledByEnv())
 {
 }
 
+namespace {
+
+/**
+ * Natural-loop header test from dominators and predecessors alone: a
+ * block is a header iff some reachable predecessor's edge into it is a
+ * back edge. Equivalent to LoopInfo::isLoopHeader but avoids building
+ * (and re-building, after every committed merge) the loop bodies the
+ * classifier never looks at.
+ */
+bool
+isNaturalLoopHeader(const DominatorTree &dom, const PredecessorMap &preds,
+                    BlockId s)
+{
+    if (s >= preds.size())
+        return false;
+    for (BlockId p : preds[s]) {
+        if (dom.reachable(p) && dom.dominates(s, p))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
 MergeKind
-MergeEngine::classify(BlockId hb, BlockId s) const
+MergeEngine::classify(BlockId hb, BlockId s)
 {
     if (hb == s)
         return MergeKind::Unroll;
 
-    LoopInfo loops(fn);
-    PredecessorMap preds = fn.predecessors();
+    const DominatorTree &dom = am.dominators();
+    const PredecessorMap &preds = am.predecessors();
 
-    bool back_edge = loops.isBackEdge(hb, s);
-    bool header = loops.isLoopHeader(s);
+    bool back_edge = dom.reachable(hb) && dom.dominates(s, hb);
+    bool header = isNaturalLoopHeader(dom, preds, s);
 
     if (preds[s].size() == 1 && preds[s][0] == hb && !back_edge)
         return MergeKind::Simple;
@@ -49,7 +76,7 @@ MergeEngine::classify(BlockId hb, BlockId s) const
 }
 
 bool
-MergeEngine::legalMerge(BlockId hb, BlockId s, std::string *why)
+MergeEngine::blocksExist(BlockId hb, BlockId s, std::string *why) const
 {
     auto fail = [&](const std::string &reason) {
         if (why)
@@ -65,18 +92,50 @@ MergeEngine::legalMerge(BlockId hb, BlockId s, std::string *why)
         return fail("cannot duplicate the entry block");
     if (branchesTo(*fn.block(hb), s).empty())
         return fail("not a successor");
+    return true;
+}
 
-    MergeKind kind = classify(hb, s);
+bool
+MergeEngine::legalForKind(BlockId s, MergeKind kind, std::string *why)
+{
+    auto fail = [&](const std::string &reason) {
+        if (why)
+            *why = reason;
+        return false;
+    };
+
     if (!opts.enableHeadDuplication) {
         if (kind == MergeKind::Peel || kind == MergeKind::Unroll)
             return fail("head duplication disabled");
         // Without head duplication the classical algorithm keeps loop
         // headers as hyperblock seeds rather than growing into them.
-        LoopInfo loops(fn);
-        if (loops.isLoopHeader(s))
+        if (isNaturalLoopHeader(am.dominators(), am.predecessors(), s))
             return fail("loop header (head duplication disabled)");
     }
     return true;
+}
+
+bool
+MergeEngine::legalMerge(BlockId hb, BlockId s, std::string *why)
+{
+    if (!blocksExist(hb, s, why))
+        return false;
+    return legalForKind(s, classify(hb, s), why);
+}
+
+MergeOutcome
+MergeEngine::record(BlockId hb, BlockId s, MergeOutcome outcome)
+{
+    if (opts.recordMergeTrace) {
+        MergeTraceEntry entry;
+        entry.hb = hb;
+        entry.s = s;
+        entry.success = outcome.success;
+        entry.kind = outcome.kind;
+        entry.reason = outcome.reason;
+        mergeTrace.push_back(std::move(entry));
+    }
+    return outcome;
 }
 
 MergeOutcome
@@ -84,14 +143,20 @@ MergeEngine::tryMerge(BlockId hb, BlockId s)
 {
     MergeOutcome outcome;
     std::string why;
-    if (!legalMerge(hb, s, &why)) {
+    if (!blocksExist(hb, s, &why)) {
         outcome.reason = why;
-        return outcome;
+        return record(hb, s, outcome);
+    }
+
+    // Classify once; legality and the commit path share the result.
+    MergeKind kind = classify(hb, s);
+    if (!legalForKind(s, kind, &why)) {
+        outcome.reason = why;
+        return record(hb, s, outcome);
     }
 
     BasicBlock *hb_block = fn.block(hb);
     BasicBlock *s_block = fn.block(s);
-    MergeKind kind = classify(hb, s);
 
     // Choose the source for the appended code: for unrolling, the
     // pristine saved body (first unroll saves it); otherwise S itself.
@@ -126,16 +191,23 @@ MergeEngine::tryMerge(BlockId hb, BlockId s)
     BasicBlock source_copy(source->id(), source->name());
     source_copy.insts = source->insts;
 
-    if (!combineBlocks(fn, scratch, source_copy, share)) {
-        outcome.reason = "no branch to successor";
-        return outcome;
+    {
+        ScopedStatTimer t(counters, "usMergeCombine");
+        if (!combineBlocks(fn, scratch, source_copy, share)) {
+            outcome.reason = "no branch to successor";
+            return record(hb, s, outcome);
+        }
     }
 
     // Live-out of the merged block: union of the live-ins of its
     // targets, plus its own upward-exposed uses if it loops back to
-    // itself (the next iteration's reads).
-    Liveness liveness(fn);
-    BitVector live_out(fn.numVregs());
+    // itself (the next iteration's reads). The query comes after
+    // combineBlocks so the cached analysis covers the predicate
+    // registers if-conversion just allocated.
+    Timer live_timer;
+    const Liveness &liveness = am.liveness();
+    counters.add("usMergeLiveness", live_timer.elapsedMicros());
+    BitVector live_out(liveness.universe());
     bool self_loop = false;
     for (BlockId succ : scratch.successors()) {
         if (succ == hb) {
@@ -145,17 +217,21 @@ MergeEngine::tryMerge(BlockId hb, BlockId s)
         live_out.unionWith(liveness.liveIn(succ));
     }
     if (self_loop) {
-        live_out.unionWith(blockUses(scratch, fn.numVregs()));
+        live_out.unionWith(blockUses(scratch, liveness.universe()));
         live_out.unionWith(liveness.liveIn(hb));
     }
 
-    if (opts.optimizeDuringMerge)
+    if (opts.optimizeDuringMerge) {
+        ScopedStatTimer t(counters, "usMergeOptimize");
         optimizeBlock(fn, scratch, live_out);
+    }
 
     // --- LegalBlock: structural constraints on the result ---
+    Timer legal_timer;
     std::string illegal = checkBlockLegal(fn, scratch, live_out,
                                           opts.constraints,
                                           opts.sizeHeadroom);
+    counters.add("usMergeLegal", legal_timer.elapsedMicros());
     if (!illegal.empty()) {
         // Basic-block splitting (paper §9): a too-large
         // single-predecessor candidate can donate its first piece.
@@ -168,15 +244,21 @@ MergeEngine::tryMerge(BlockId hb, BlockId s)
             size_t piece = std::min(room / 2, s_block->size() / 2);
             BlockId rest = splitBlockAt(fn, s, piece);
             if (rest != kNoBlock) {
+                // A new block exists; no incremental patch applies.
+                am.invalidateAll();
                 counters.add("blocksSplitForMerge");
                 // Retry: S is now its small first piece.
                 MergeOutcome retried = tryMerge(hb, s);
                 if (retried.success)
                     return retried;
+            } else {
+                // splitBlockAt stabilizes branch predicates in place
+                // even when it declines to split.
+                am.instructionsRewritten(s);
             }
         }
         outcome.reason = illegal;
-        return outcome;
+        return record(hb, s, outcome);
     }
 
     // --- Commit: transform the CFG ---
@@ -187,13 +269,22 @@ MergeEngine::tryMerge(BlockId hb, BlockId s)
         pristineBodies[hb] = std::move(pristine);
     }
 
+    std::vector<BlockId> hb_old_succs = hb_block->successors();
     hb_block->insts = std::move(scratch.insts);
+    if (kind != MergeKind::Simple)
+        am.branchesRewritten(hb, hb_old_succs);
 
     switch (kind) {
-      case MergeKind::Simple:
+      case MergeKind::Simple: {
+        // One combined event so the analysis manager can recognize the
+        // splice and patch dominators/loops instead of invalidating.
+        std::vector<BlockId> s_succs = s_block->successors();
         fn.removeBlock(s);
+        am.blockAbsorbed(hb, s, hb_old_succs, s_succs);
         break;
+      }
       case MergeKind::TailDup:
+        // Frequencies only: no analysis depends on them.
         scaleBranchFreqs(*s_block, 1.0 - share);
         counters.add("tailDuplicated");
         break;
@@ -209,7 +300,7 @@ MergeEngine::tryMerge(BlockId hb, BlockId s)
 
     outcome.success = true;
     outcome.kind = kind;
-    return outcome;
+    return record(hb, s, outcome);
 }
 
 } // namespace chf

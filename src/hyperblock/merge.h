@@ -19,6 +19,11 @@
  *              original loop body is saved on first unroll and appended
  *              one pristine iteration at a time, so unroll factors are
  *              not limited to powers of two (paper §4.1).
+ *
+ * The engine owns an AnalysisManager: loop / predecessor / liveness
+ * queries are answered from one cached snapshot per candidate, and the
+ * engine reports every CFG mutation it commits so the cache stays
+ * exact. Failed merges leave the CFG -- and thus the cache -- intact.
  */
 
 #ifndef CHF_HYPERBLOCK_MERGE_H
@@ -27,7 +32,9 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "analysis/analysis_manager.h"
 #include "hyperblock/constraints.h"
 #include "support/stats.h"
 
@@ -61,6 +68,13 @@ struct MergeOptions
      * value handoff.
      */
     bool enableBlockSplitting = false;
+
+    /** Cache analyses across merge attempts (also globally switchable
+     *  off with CHF_DISABLE_ANALYSIS_CACHE=1 for differential runs). */
+    bool useAnalysisCache = true;
+
+    /** Record every tryMerge attempt in MergeEngine::trace(). */
+    bool recordMergeTrace = false;
 };
 
 /** Outcome of tryMerge. */
@@ -69,6 +83,23 @@ struct MergeOutcome
     bool success = false;
     MergeKind kind = MergeKind::Simple;
     std::string reason; ///< failure reason when !success
+};
+
+/** One recorded tryMerge attempt (MergeOptions::recordMergeTrace). */
+struct MergeTraceEntry
+{
+    BlockId hb = kNoBlock;
+    BlockId s = kNoBlock;
+    bool success = false;
+    MergeKind kind = MergeKind::Simple;
+    std::string reason;
+
+    bool
+    operator==(const MergeTraceEntry &o) const
+    {
+        return hb == o.hb && s == o.s && success == o.success &&
+               kind == o.kind && reason == o.reason;
+    }
 };
 
 /**
@@ -94,13 +125,33 @@ class MergeEngine
     const MergeOptions &options() const { return opts; }
     Function &function() { return fn; }
 
+    /** Cached analyses for this function, kept current across merges. */
+    AnalysisManager &analyses() { return am; }
+
+    /** Recorded attempts (empty unless recordMergeTrace is set). */
+    const std::vector<MergeTraceEntry> &trace() const
+    {
+        return mergeTrace;
+    }
+
   private:
+    /** Existence/structure checks shared by legalMerge and tryMerge. */
+    bool blocksExist(BlockId hb, BlockId s, std::string *why) const;
+
     /** Classify what committing the merge will do. */
-    MergeKind classify(BlockId hb, BlockId s) const;
+    MergeKind classify(BlockId hb, BlockId s);
+
+    /** Kind-dependent legality (head-duplication gating). */
+    bool legalForKind(BlockId s, MergeKind kind, std::string *why);
+
+    /** Append to the trace (when enabled) and pass @p outcome through. */
+    MergeOutcome record(BlockId hb, BlockId s, MergeOutcome outcome);
 
     Function &fn;
     MergeOptions opts;
+    AnalysisManager am;
     StatSet counters;
+    std::vector<MergeTraceEntry> mergeTrace;
 
     /** Original loop bodies saved at first unroll, by header id. */
     std::map<BlockId, std::unique_ptr<BasicBlock>> pristineBodies;

@@ -9,6 +9,7 @@
 #include "ir/verifier.h"
 #include "sim/functional_sim.h"
 #include "support/fatal.h"
+#include "support/timer.h"
 #include "transform/cfg_utils.h"
 #include "transform/for_loop_unroll.h"
 #include "transform/head_duplicate.h"
@@ -172,10 +173,10 @@ discreteMergeUnrollPeel(Function &fn, const ProfileData &profile,
             unrollLoopMerge(engine, id, 4);
     }
 
-    // Peel low-trip-count loops into their predecessors.
-    LoopInfo loops(fn);
+    // Peel low-trip-count loops into their predecessors. The engine's
+    // analysis cache is already current after the unroll merges.
     std::vector<BlockId> headers;
-    for (const Loop &loop : loops.loops())
+    for (const Loop &loop : engine.analyses().loops().loops())
         headers.push_back(loop.header);
     for (BlockId header : headers) {
         double mean = profile.trips.meanTrips(header);
@@ -184,7 +185,9 @@ discreteMergeUnrollPeel(Function &fn, const ProfileData &profile,
             peelLoopMerge(engine, header, std::min<size_t>(k, 3));
         }
     }
-    return engine.stats();
+    StatSet stats = engine.stats();
+    stats.merge(engine.analyses().stats());
+    return stats;
 }
 
 } // namespace
@@ -195,6 +198,7 @@ compileProgram(Program &program, const ProfileData &profile,
 {
     CompileResult result;
     Function &fn = program.fn;
+    Timer total_timer;
 
     MergeOptions merge;
     merge.constraints = options.constraints;
@@ -215,28 +219,49 @@ compileProgram(Program &program, const ProfileData &profile,
       case Pipeline::BB:
         break;
       case Pipeline::UPIO: {
-        result.stats.merge(
-            discreteCfgUnrollPeel(fn, profile, options.constraints));
+        {
+            ScopedStatTimer t(result.stats, "usUnrollPeel");
+            result.stats.merge(
+                discreteCfgUnrollPeel(fn, profile, options.constraints));
+        }
         if (options.verifyStages)
             verifyOrDie(fn, "UPIO unroll/peel");
-        FormationResult formed = formHyperblocks(fn, *policy, formation);
-        result.stats.merge(formed.stats);
+        {
+            ScopedStatTimer t(result.stats, "usFormation");
+            FormationResult formed =
+                formHyperblocks(fn, *policy, formation);
+            result.stats.merge(formed.stats);
+        }
+        ScopedStatTimer t(result.stats, "usScalarOpt");
         optimizeFunction(fn);
         break;
       }
       case Pipeline::IUPO: {
-        FormationResult formed = formHyperblocks(fn, *policy, formation);
-        result.stats.merge(formed.stats);
-        // The discrete unroller now sees accurate hyperblock sizes.
-        result.stats.merge(
-            discreteMergeUnrollPeel(fn, profile, merge));
+        {
+            ScopedStatTimer t(result.stats, "usFormation");
+            FormationResult formed =
+                formHyperblocks(fn, *policy, formation);
+            result.stats.merge(formed.stats);
+        }
+        {
+            // The discrete unroller now sees accurate hyperblock sizes.
+            ScopedStatTimer t(result.stats, "usUnrollPeel");
+            result.stats.merge(
+                discreteMergeUnrollPeel(fn, profile, merge));
+        }
+        ScopedStatTimer t(result.stats, "usScalarOpt");
         optimizeFunction(fn);
         break;
       }
       case Pipeline::IUP_O:
       case Pipeline::IUPO_fused: {
-        FormationResult formed = formHyperblocks(fn, *policy, formation);
-        result.stats.merge(formed.stats);
+        {
+            ScopedStatTimer t(result.stats, "usFormation");
+            FormationResult formed =
+                formHyperblocks(fn, *policy, formation);
+            result.stats.merge(formed.stats);
+        }
+        ScopedStatTimer t(result.stats, "usScalarOpt");
         optimizeFunction(fn);
         break;
       }
@@ -246,6 +271,7 @@ compileProgram(Program &program, const ProfileData &profile,
         verifyOrDie(fn, "hyperblock formation");
 
     if (options.runBackend) {
+        ScopedStatTimer t(result.stats, "usBackend");
         result.stats.set("nullWriteInsts",
                          static_cast<int64_t>(
                              normalizeOutputsFunction(fn)));
@@ -277,6 +303,7 @@ compileProgram(Program &program, const ProfileData &profile,
                      static_cast<int64_t>(fn.numBlocks()));
     result.stats.set("finalInsts",
                      static_cast<int64_t>(fn.totalInsts()));
+    result.stats.set("usCompileTotal", total_timer.elapsedMicros());
     return result;
 }
 

@@ -16,6 +16,8 @@
 
 namespace chf {
 
+class AnalysisManager;
+
 /** One candidate successor the policy can choose. */
 struct MergeCandidate
 {
@@ -65,6 +67,13 @@ class Policy
         (void)fn;
         (void)seed;
     }
+
+    /**
+     * Cache-aware variant used by expandBlock: policies that need loop
+     * or predecessor information should query @p analyses instead of
+     * rebuilding it. Defaults to the plain beginBlock above.
+     */
+    virtual void beginBlock(AnalysisManager &analyses, BlockId seed);
 
     /**
      * Pick the next candidate to attempt (index into @p candidates) or

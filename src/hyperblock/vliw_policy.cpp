@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "analysis/analysis_manager.h"
 #include "analysis/loops.h"
 #include "transform/cfg_utils.h"
 
@@ -48,9 +49,24 @@ VliwPolicy::beginBlock(const Function &fn, BlockId seed)
     admitted.clear();
     if (!fn.block(seed))
         return;
-
     LoopInfo loops(fn);
+    buildAdmitted(fn, loops, seed);
+}
 
+void
+VliwPolicy::beginBlock(AnalysisManager &analyses, BlockId seed)
+{
+    admitted.clear();
+    const Function &fn = analyses.function();
+    if (!fn.block(seed))
+        return;
+    buildAdmitted(fn, analyses.loops(), seed);
+}
+
+void
+VliwPolicy::buildAdmitted(const Function &fn, const LoopInfo &loops,
+                          BlockId seed)
+{
     // Enumerate acyclic paths from the seed by DFS over forward edges.
     std::vector<PathInfo> paths;
     struct Frame

@@ -22,6 +22,8 @@
 
 namespace chf {
 
+class LoopInfo;
+
 /** Tuning knobs of the VLIW heuristic. */
 struct VliwPolicyOptions
 {
@@ -51,10 +53,17 @@ class VliwPolicy : public Policy
 
     void beginBlock(const Function &fn, BlockId seed) override;
 
+    /** Cache-aware variant: reuses the loop analysis in @p analyses. */
+    void beginBlock(AnalysisManager &analyses, BlockId seed) override;
+
     int select(const Function &fn, BlockId hb,
                const std::vector<MergeCandidate> &candidates) override;
 
   private:
+    /** Shared path enumeration behind both beginBlock entry points. */
+    void buildAdmitted(const Function &fn, const LoopInfo &loops,
+                       BlockId seed);
+
     VliwPolicyOptions opts;
 
     /** Priority of each block admitted for the current seed. */

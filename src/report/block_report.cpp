@@ -1,6 +1,7 @@
 #include "report/block_report.h"
 
 #include <algorithm>
+#include <cctype>
 #include <sstream>
 
 namespace chf {
@@ -85,6 +86,36 @@ toString(const BlockReport &report, const TripsConstraints &constraints)
     for (size_t i = 0; i < report.sizeHistogram.size(); ++i)
         os << " " << report.sizeHistogram[i];
     os << "\n";
+    return os.str();
+}
+
+std::string
+timingSummary(const StatSet &stats)
+{
+    std::ostringstream os;
+    bool any_time = false;
+    for (const auto &[name, value] : stats.entries()) {
+        if (name.rfind("us", 0) == 0 && name.size() > 2 &&
+            std::isupper(static_cast<unsigned char>(name[2]))) {
+            if (!any_time)
+                os << "pass timing:";
+            any_time = true;
+            os << " " << name.substr(2) << "=" << value << "us";
+        }
+    }
+    if (any_time)
+        os << "\n";
+    bool any_cache = false;
+    for (const auto &[name, value] : stats.entries()) {
+        if (name.rfind("analysis", 0) == 0) {
+            if (!any_cache)
+                os << "analysis cache:";
+            any_cache = true;
+            os << " " << name.substr(8) << "=" << value;
+        }
+    }
+    if (any_cache)
+        os << "\n";
     return os.str();
 }
 

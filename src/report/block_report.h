@@ -20,6 +20,7 @@
 #include "hyperblock/constraints.h"
 #include "ir/function.h"
 #include "sim/functional_sim.h"
+#include "support/stats.h"
 
 namespace chf {
 
@@ -61,6 +62,13 @@ BlockReport analyzeBlocks(const Function &fn,
 /** Render a report as aligned text. */
 std::string toString(const BlockReport &report,
                      const TripsConstraints &constraints);
+
+/**
+ * Render the pass-timing ("usXxx", microseconds) and analysis-cache
+ * ("analysisXxx") counters a compile accumulated -- the compile-time
+ * side of the report, next to the block-quality side above.
+ */
+std::string timingSummary(const StatSet &stats);
 
 } // namespace chf
 

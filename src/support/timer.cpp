@@ -1,0 +1,15 @@
+#include "support/timer.h"
+
+namespace chf {
+
+ScopedStatTimer::ScopedStatTimer(StatSet &stats, std::string name)
+    : stats(stats), name(std::move(name))
+{
+}
+
+ScopedStatTimer::~ScopedStatTimer()
+{
+    stats.add(name, timer.elapsedMicros());
+}
+
+} // namespace chf

@@ -2,6 +2,15 @@
  * @file
  * CFG editing utilities shared by the transforms: block cloning with
  * edge remapping, branch redirection, and frequency bookkeeping.
+ *
+ * Invalidation contract: none of these helpers notify the analysis
+ * cache. A caller holding a chf::AnalysisManager must report each
+ * mutation through the matching event -- branchesRewritten() after
+ * redirectBranches(), invalidateAll() after cloneRegion() or
+ * splitBlockAt() (the block table grew), blockAbsorbed()/blockRemoved()
+ * when a block goes away. See DESIGN.md, "Analysis caching &
+ * invalidation". Frequency-only edits (scaleBranchFreqs) need no event:
+ * no cached analysis reads frequencies.
  */
 
 #ifndef CHF_TRANSFORM_CFG_UTILS_H

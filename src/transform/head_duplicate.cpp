@@ -13,9 +13,11 @@ peelLoopMerge(MergeEngine &engine, BlockId header, size_t iterations)
         if (!fn.block(header))
             break;
         // Find a predecessor entering the loop from outside (the edge
-        // is not a back edge); merge the header into it.
-        LoopInfo loops(fn);
-        PredecessorMap preds = fn.predecessors();
+        // is not a back edge); merge the header into it. The engine's
+        // analysis cache answers both queries; tryMerge keeps it
+        // current, so requerying per iteration is cheap.
+        const LoopInfo &loops = engine.analyses().loops();
+        const PredecessorMap &preds = engine.analyses().predecessors();
         BlockId entry_pred = kNoBlock;
         for (BlockId p : preds[header]) {
             if (!loops.isBackEdge(p, header)) {

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Differential formation tests: running convergent formation with the
+ * analysis cache on must make exactly the same merge decisions -- and
+ * produce exactly the same IR -- as running it with the cache off
+ * (every analysis rebuilt fresh per query). This is the executable
+ * form of the cache's bit-identical-results contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/lowering.h"
+#include "hyperblock/convergent.h"
+#include "hyperblock/merge.h"
+#include "hyperblock/phase_ordering.h"
+#include "ir/printer.h"
+
+namespace chf {
+namespace {
+
+struct FormationRun
+{
+    std::string ir;
+    std::vector<MergeTraceEntry> trace;
+    int64_t merges = 0;
+};
+
+/**
+ * Compile @p source, prepare it (profile + for-loop unroll, as the real
+ * pipeline does), then form hyperblocks over every seed while recording
+ * the merge trace.
+ */
+FormationRun
+runFormation(const std::string &source, bool use_cache,
+             bool block_splitting)
+{
+    Program p = compileTinyC(source);
+    prepareProgram(p);
+
+    MergeOptions opts;
+    opts.useAnalysisCache = use_cache;
+    opts.recordMergeTrace = true;
+    opts.enableBlockSplitting = block_splitting;
+    MergeEngine engine(p.fn, opts);
+    BreadthFirstPolicy policy;
+    for (BlockId seed : p.fn.reversePostOrder()) {
+        if (p.fn.block(seed))
+            expandBlock(engine, policy, seed);
+    }
+    p.fn.removeUnreachable();
+
+    FormationRun run;
+    run.ir = toString(p.fn);
+    run.trace = engine.trace();
+    run.merges = engine.stats().get("blocksMerged");
+    return run;
+}
+
+void
+expectIdenticalFormation(const std::string &source, bool block_splitting)
+{
+    FormationRun cached = runFormation(source, true, block_splitting);
+    FormationRun fresh = runFormation(source, false, block_splitting);
+
+    ASSERT_EQ(cached.trace.size(), fresh.trace.size());
+    for (size_t i = 0; i < cached.trace.size(); ++i) {
+        EXPECT_EQ(cached.trace[i], fresh.trace[i])
+            << "merge decision " << i << " diverged: cached bb"
+            << cached.trace[i].hb << "<-bb" << cached.trace[i].s
+            << " (" << cached.trace[i].reason << ") vs fresh bb"
+            << fresh.trace[i].hb << "<-bb" << fresh.trace[i].s << " ("
+            << fresh.trace[i].reason << ")";
+    }
+    EXPECT_EQ(cached.merges, fresh.merges);
+    EXPECT_EQ(cached.ir, fresh.ir);
+    EXPECT_GT(cached.merges, 0);
+}
+
+TEST(MergeTraceDifferential, DiamondChain)
+{
+    expectIdenticalFormation(R"(
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 16; i += 1) {
+    int t = i * 5;
+    if ((t & 1) == 1) { acc += t; } else { acc -= i; }
+    if ((t & 6) == 2) { acc += 3; }
+  }
+  return acc;
+}
+)",
+                             false);
+}
+
+TEST(MergeTraceDifferential, NestedLoops)
+{
+    expectIdenticalFormation(R"(
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 6; i += 1) {
+    int j = 0;
+    while (j < 5) {
+      acc += i & j;
+      if (acc > 40) { acc -= 7; }
+      j += 1;
+    }
+    acc += i;
+  }
+  return acc;
+}
+)",
+                             false);
+}
+
+TEST(MergeTraceDifferential, DoWhileWithBreaks)
+{
+    expectIdenticalFormation(R"(
+int main() {
+  int n = 37;
+  int steps = 0;
+  do {
+    if ((n & 1) == 1) { n = n * 3 + 1; } else { n = n / 2; }
+    steps += 1;
+    if (steps > 200) { break; }
+  } while (n > 1);
+  return steps;
+}
+)",
+                             false);
+}
+
+TEST(MergeTraceDifferential, ArraysWithBlockSplitting)
+{
+    expectIdenticalFormation(R"(
+int data[64];
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 64; i += 1) { data[i] = i * 7 % 31; }
+  for (int i = 0; i < 64; i += 1) {
+    int v = data[i];
+    acc += v * 3; acc -= v / 2; acc += v & 12; acc += v | 3;
+    acc += v % 5; acc -= v >> 1; acc += v * v; acc -= i;
+    if ((v & 2) == 2) { acc += 11; }
+  }
+  return acc;
+}
+)",
+                             true);
+}
+
+TEST(MergeTraceDifferential, EnvVarDisablesCache)
+{
+    // CHF_DISABLE_ANALYSIS_CACHE=1 must force fresh analyses even when
+    // the options ask for caching.
+    Program p = compileTinyC("int main() { return 4; }");
+    setenv("CHF_DISABLE_ANALYSIS_CACHE", "1", 1);
+    {
+        MergeOptions opts;
+        opts.useAnalysisCache = true;
+        MergeEngine engine(p.fn, opts);
+        EXPECT_FALSE(engine.analyses().cachingEnabled());
+    }
+    unsetenv("CHF_DISABLE_ANALYSIS_CACHE");
+    {
+        MergeOptions opts;
+        opts.useAnalysisCache = true;
+        MergeEngine engine(p.fn, opts);
+        EXPECT_TRUE(engine.analyses().cachingEnabled());
+    }
+}
+
+} // namespace
+} // namespace chf
