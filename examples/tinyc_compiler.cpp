@@ -7,6 +7,13 @@
  *
  * Run: ./tinyc_compiler path/to/program.tc [args...]
  *      ./tinyc_compiler --dump path/to/program.tc    (print final IR)
+ *
+ * Robustness flags:
+ *   --keep-going   transactional pipeline: a phase that fails
+ *                  verification is rolled back and skipped instead of
+ *                  aborting; diagnostics are printed at the end
+ *   --fault=SPEC   arm the deterministic fault injector, e.g.
+ *                  --fault=phase:formation,fn:0,kind:corrupt-ir
  */
 
 #include <cstdio>
@@ -20,6 +27,7 @@
 #include "ir/printer.h"
 #include "sim/functional_sim.h"
 #include "sim/timing_sim.h"
+#include "support/fault_inject.h"
 
 using namespace chf;
 
@@ -28,19 +36,33 @@ main(int argc, char **argv)
 {
     bool dump = false;
     bool emit_asm = false;
+    bool keep_going = false;
     int argi = 1;
     while (argi < argc && argv[argi][0] == '-') {
-        if (std::strcmp(argv[argi], "--dump") == 0)
+        if (std::strcmp(argv[argi], "--dump") == 0) {
             dump = true;
-        else if (std::strcmp(argv[argi], "--asm") == 0)
+        } else if (std::strcmp(argv[argi], "--asm") == 0) {
             emit_asm = true;
-        else
+        } else if (std::strcmp(argv[argi], "--keep-going") == 0) {
+            keep_going = true;
+        } else if (std::strncmp(argv[argi], "--fault=", 8) == 0) {
+            FaultSpec spec;
+            std::string err;
+            if (!parseFaultSpec(argv[argi] + 8, &spec, &err)) {
+                std::fprintf(stderr, "bad --fault spec: %s\n",
+                             err.c_str());
+                return 1;
+            }
+            FaultInjector::instance().arm(spec);
+        } else {
             break;
+        }
         ++argi;
     }
     if (argi >= argc) {
         std::fprintf(stderr,
-                     "usage: %s [--dump] [--asm] program.tc [int args...]\n",
+                     "usage: %s [--dump] [--asm] [--keep-going] "
+                     "[--fault=SPEC] program.tc [int args...]\n",
                      argv[0]);
         return 1;
     }
@@ -57,16 +79,31 @@ main(int argc, char **argv)
     for (int i = argi + 1; i < argc; ++i)
         args.push_back(std::atoll(argv[i]));
 
-    Program program = compileTinyC(buffer.str());
+    DiagnosticEngine diags;
+    Program program;
+    if (keep_going) {
+        std::optional<Program> compiled_fe =
+            compileTinyC(buffer.str(), diags);
+        if (!compiled_fe) {
+            diags.print(stderr);
+            return 1;
+        }
+        program = std::move(*compiled_fe);
+    } else {
+        program = compileTinyC(buffer.str());
+    }
     if (!args.empty())
         program.defaultArgs = args;
 
-    ProfileData profile = prepareProgram(program);
+    ProfileData profile = prepareProgram(
+        program, {}, true, keep_going ? &diags : nullptr, keep_going);
     FuncSimResult baseline = runFunctional(program);
     TimingResult bb_timing = runTiming(program);
 
     CompileOptions options;
     options.pipeline = Pipeline::IUPO_fused;
+    options.keepGoing = keep_going;
+    options.diags = keep_going ? &diags : nullptr;
     CompileResult compiled = compileProgram(program, profile, options);
 
     if (dump)
@@ -105,5 +142,18 @@ main(int argc, char **argv)
     std::printf("misprediction rate   %.2f%% -> %.2f%%\n",
                 bb_timing.mispredictRate() * 100,
                 timing.mispredictRate() * 100);
+
+    if (keep_going) {
+        if (compiled.degraded()) {
+            std::printf("degraded phases      ");
+            for (size_t i = 0; i < compiled.failedPhases.size(); ++i) {
+                std::printf("%s%s", i ? ", " : "",
+                            compiled.failedPhases[i].c_str());
+            }
+            std::printf("\n");
+        }
+        if (!diags.empty())
+            diags.print(stderr);
+    }
     return 0;
 }

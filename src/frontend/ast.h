@@ -29,6 +29,7 @@ struct Expr
 
     Kind kind;
     int line = 0;
+    int col = 0;
     int64_t intValue = 0;
     std::string name;
     std::string op;
@@ -57,6 +58,7 @@ struct Stmt
 
     Kind kind;
     int line = 0;
+    int col = 0;
     std::string name;
     std::string op;
     std::unique_ptr<Expr> index;
@@ -77,6 +79,7 @@ struct FuncDecl
     std::vector<std::string> params;
     std::unique_ptr<Stmt> body;
     int line = 0;
+    int col = 0;
 };
 
 /** Global scalar or array declaration. */
@@ -88,6 +91,7 @@ struct GlobalDecl
     /** Optional initializer values. */
     std::vector<int64_t> init;
     int line = 0;
+    int col = 0;
 };
 
 /** A parsed TinyC source file. */

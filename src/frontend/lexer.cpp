@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "support/diagnostics.h"
 #include "support/fatal.h"
 
 namespace chf {
@@ -68,10 +69,15 @@ lex(const std::string &source)
     std::vector<Token> tokens;
     size_t i = 0;
     int line = 1;
+    size_t line_start = 0;
     size_t n = source.size();
 
     auto peek = [&](size_t k = 0) -> char {
         return i + k < n ? source[i + k] : '\0';
+    };
+
+    auto column = [&](size_t at) -> int {
+        return static_cast<int>(at - line_start) + 1;
     };
 
     auto push = [&](TokenKind kind, std::string text, size_t advance) {
@@ -79,6 +85,7 @@ lex(const std::string &source)
         tok.kind = kind;
         tok.text = std::move(text);
         tok.line = line;
+        tok.col = column(i);
         tokens.push_back(std::move(tok));
         i += advance;
     };
@@ -88,6 +95,7 @@ lex(const std::string &source)
         if (c == '\n') {
             ++line;
             ++i;
+            line_start = i;
             continue;
         }
         if (std::isspace(static_cast<unsigned char>(c))) {
@@ -100,14 +108,21 @@ lex(const std::string &source)
             continue;
         }
         if (c == '/' && peek(1) == '*') {
+            int open_line = line;
+            int open_col = column(i);
             i += 2;
             while (i < n && !(source[i] == '*' && peek(1) == '/')) {
-                if (source[i] == '\n')
+                if (source[i] == '\n') {
                     ++line;
+                    line_start = i + 1;
+                }
                 ++i;
             }
-            if (i >= n)
-                fatal(concat("line ", line, ": unterminated comment"));
+            if (i >= n) {
+                throwInputError("lex",
+                                SourceLoc::at(open_line, open_col),
+                                "unterminated comment");
+            }
             i += 2;
             continue;
         }
@@ -122,6 +137,7 @@ lex(const std::string &source)
             tok.text = source.substr(start, i - start);
             tok.intValue = std::stoll(tok.text);
             tok.line = line;
+            tok.col = column(start);
             tokens.push_back(std::move(tok));
             continue;
         }
@@ -147,6 +163,7 @@ lex(const std::string &source)
             tok.kind = kind;
             tok.text = std::move(text);
             tok.line = line;
+            tok.col = column(start);
             tokens.push_back(std::move(tok));
             continue;
         }
@@ -212,14 +229,15 @@ lex(const std::string &source)
             else push(TokenKind::Gt, ">", 1);
             continue;
           default:
-            fatal(concat("line ", line, ": unexpected character '", c,
-                         "'"));
+            throwInputError("lex", SourceLoc::at(line, column(i)),
+                            concat("unexpected character '", c, "'"));
         }
     }
 
     Token end;
     end.kind = TokenKind::End;
     end.line = line;
+    end.col = column(i);
     tokens.push_back(end);
     return tokens;
 }

@@ -44,6 +44,7 @@ struct Token
     std::string text;
     int64_t intValue = 0;
     int line = 0;
+    int col = 0;
 };
 
 /** Spelling of a token kind for diagnostics. */
@@ -51,7 +52,8 @@ const char *tokenKindName(TokenKind kind);
 
 /**
  * Lex @p source into tokens. Comments (// and C-style) and whitespace
- * are skipped. Calls fatal() on malformed input with a line number.
+ * are skipped. Throws RecoverableError on malformed input with the
+ * offending line and column.
  */
 std::vector<Token> lex(const std::string &source);
 

@@ -6,6 +6,7 @@
 #include "frontend/parser.h"
 #include "ir/builder.h"
 #include "ir/verifier.h"
+#include "support/diagnostics.h"
 #include "support/fatal.h"
 
 namespace chf {
@@ -33,8 +34,11 @@ class Lowerer
         layoutGlobals();
 
         const FuncDecl *entry = unit.findFunction(entry_name);
-        if (!entry)
-            fatal(concat("no function named '", entry_name, "'"));
+        if (!entry) {
+            throwInputError("lower", SourceLoc{},
+                            concat("no function named '", entry_name,
+                                   "'"));
+        }
 
         BlockId entry_block = builder.makeBlock("entry");
         program.fn.setEntry(entry_block);
@@ -47,7 +51,7 @@ class Lowerer
         for (const auto &param : entry->params) {
             Vreg v = program.fn.newVreg();
             program.fn.argRegs.push_back(v);
-            declare(param, v, entry->line);
+            declare(param, v, entry->line, entry->col);
         }
         lowerStmt(*entry->body);
         if (!terminated)
@@ -71,8 +75,9 @@ class Lowerer
             int64_t size = g.arraySize < 0 ? 1 : g.arraySize;
             if (g.arraySize >= 0 &&
                 static_cast<int64_t>(g.init.size()) > g.arraySize) {
-                fatal(concat("line ", g.line, ": too many initializers for ",
-                             g.name));
+                throwInputError("lower", SourceLoc::at(g.line, g.col),
+                                concat("too many initializers for ",
+                                       g.name));
             }
             int64_t base = program.memory.allocate(g.name, size);
             for (size_t i = 0; i < g.init.size(); ++i)
@@ -95,11 +100,13 @@ class Lowerer
     void popScope() { scopes.pop_back(); }
 
     void
-    declare(const std::string &name, Vreg v, int line)
+    declare(const std::string &name, Vreg v, int line, int col)
     {
         auto &scope = scopes.back();
-        if (scope.count(name))
-            fatal(concat("line ", line, ": redeclaration of ", name));
+        if (scope.count(name)) {
+            throwInputError("lower", SourceLoc::at(line, col),
+                            concat("redeclaration of ", name));
+        }
         scope[name] = v;
     }
 
@@ -137,13 +144,14 @@ class Lowerer
                     IRBuilder::imm(0));
                 return IRBuilder::r(v);
             }
-            fatal(concat("line ", expr.line, ": unknown variable ",
-                         expr.name));
+            throwInputError("lower", SourceLoc::at(expr.line, expr.col),
+                            concat("unknown variable ", expr.name));
           }
           case Expr::Kind::Index: {
             if (!isGlobal(expr.name) || !globalIsArray.at(expr.name)) {
-                fatal(concat("line ", expr.line, ": ", expr.name,
-                             " is not an array"));
+                throwInputError("lower",
+                                SourceLoc::at(expr.line, expr.col),
+                                concat(expr.name, " is not an array"));
             }
             Operand index = lowerExpr(*expr.lhs);
             Vreg v = builder.load(
@@ -280,25 +288,30 @@ class Lowerer
     Operand
     lowerCall(const Expr &expr)
     {
+        SourceLoc loc = SourceLoc::at(expr.line, expr.col);
         const FuncDecl *callee = unit.findFunction(expr.name);
         if (!callee) {
-            fatal(concat("line ", expr.line, ": call to unknown function ",
-                         expr.name));
+            throwInputError("lower", loc,
+                            concat("call to unknown function ",
+                                   expr.name));
         }
         for (const std::string &active : callStack) {
             if (active == expr.name) {
-                fatal(concat("line ", expr.line, ": recursive call to ",
-                             expr.name,
-                             " (TinyC inlines all calls; recursion is "
-                             "unsupported)"));
+                throwInputError(
+                    "lower", loc,
+                    concat("recursive call to ", expr.name,
+                           " (TinyC inlines all calls; recursion is "
+                           "unsupported)"));
             }
         }
         if (static_cast<int>(callStack.size()) >= options.maxInlineDepth)
-            fatal(concat("line ", expr.line, ": inline depth exceeded"));
+            throwInputError("lower", loc, "inline depth exceeded");
         if (expr.args.size() != callee->params.size()) {
-            fatal(concat("line ", expr.line, ": ", expr.name, " expects ",
-                         callee->params.size(), " arguments, got ",
-                         expr.args.size()));
+            throwInputError("lower", loc,
+                            concat(expr.name, " expects ",
+                                   callee->params.size(),
+                                   " arguments, got ",
+                                   expr.args.size()));
         }
 
         // Evaluate arguments in the caller's scope.
@@ -312,7 +325,7 @@ class Lowerer
         for (size_t i = 0; i < callee->params.size(); ++i) {
             Vreg v = program.fn.newVreg();
             builder.movTo(v, arg_values[i]);
-            declare(callee->params[i], v, expr.line);
+            declare(callee->params[i], v, expr.line, expr.col);
         }
 
         Vreg result = program.fn.newVreg();
@@ -356,7 +369,7 @@ class Lowerer
             Operand init = stmt.value ? lowerExpr(*stmt.value)
                                       : IRBuilder::imm(0);
             builder.movTo(v, init);
-            declare(stmt.name, v, stmt.line);
+            declare(stmt.name, v, stmt.line, stmt.col);
             break;
           }
           case Stmt::Kind::Assign:
@@ -387,15 +400,19 @@ class Lowerer
             break;
           }
           case Stmt::Kind::Break:
-            if (breakTargets.empty())
-                fatal(concat("line ", stmt.line, ": break outside loop"));
+            if (breakTargets.empty()) {
+                throwInputError("lower",
+                                SourceLoc::at(stmt.line, stmt.col),
+                                "break outside loop");
+            }
             builder.br(breakTargets.back());
             terminated = true;
             break;
           case Stmt::Kind::Continue:
             if (continueTargets.empty()) {
-                fatal(concat("line ", stmt.line,
-                             ": continue outside loop"));
+                throwInputError("lower",
+                                SourceLoc::at(stmt.line, stmt.col),
+                                "continue outside loop");
             }
             builder.br(continueTargets.back());
             terminated = true;
@@ -407,14 +424,15 @@ class Lowerer
     }
 
     Opcode
-    compoundOpcode(const std::string &op, int line)
+    compoundOpcode(const std::string &op, int line, int col)
     {
         if (op == "+=") return Opcode::Add;
         if (op == "-=") return Opcode::Sub;
         if (op == "*=") return Opcode::Mul;
         if (op == "/=") return Opcode::Div;
         if (op == "%=") return Opcode::Mod;
-        fatal(concat("line ", line, ": bad assignment operator ", op));
+        throwInputError("lower", SourceLoc::at(line, col),
+                        concat("bad assignment operator ", op));
     }
 
     void
@@ -423,8 +441,9 @@ class Lowerer
         if (stmt.index) {
             // Array element assignment.
             if (!isGlobal(stmt.name) || !globalIsArray.at(stmt.name)) {
-                fatal(concat("line ", stmt.line, ": ", stmt.name,
-                             " is not an array"));
+                throwInputError("lower",
+                                SourceLoc::at(stmt.line, stmt.col),
+                                concat(stmt.name, " is not an array"));
             }
             Operand base = IRBuilder::imm(globalBase.at(stmt.name));
             Operand index = lowerExpr(*stmt.index);
@@ -438,7 +457,7 @@ class Lowerer
                 Vreg old = builder.load(base, idx);
                 Operand value = lowerExpr(*stmt.value);
                 Vreg updated = builder.binary(
-                    compoundOpcode(stmt.op, stmt.line),
+                    compoundOpcode(stmt.op, stmt.line, stmt.col),
                     IRBuilder::r(old), value);
                 builder.store(base, idx, IRBuilder::r(updated));
             }
@@ -452,7 +471,7 @@ class Lowerer
             } else {
                 Operand value = lowerExpr(*stmt.value);
                 Vreg updated = builder.binary(
-                    compoundOpcode(stmt.op, stmt.line),
+                    compoundOpcode(stmt.op, stmt.line, stmt.col),
                     IRBuilder::r(local), value);
                 builder.movTo(local, IRBuilder::r(updated));
             }
@@ -467,14 +486,15 @@ class Lowerer
                 Vreg old = builder.load(base, zero);
                 Operand value = lowerExpr(*stmt.value);
                 Vreg updated = builder.binary(
-                    compoundOpcode(stmt.op, stmt.line),
+                    compoundOpcode(stmt.op, stmt.line, stmt.col),
                     IRBuilder::r(old), value);
                 builder.store(base, zero, IRBuilder::r(updated));
             }
             return;
         }
-        fatal(concat("line ", stmt.line, ": assignment to unknown name ",
-                     stmt.name));
+        throwInputError("lower", SourceLoc::at(stmt.line, stmt.col),
+                        concat("assignment to unknown name ",
+                               stmt.name));
     }
 
     void
@@ -633,8 +653,28 @@ Program
 compileTinyC(const std::string &source, const std::string &entry_name,
              const LoweringOptions &options)
 {
-    TranslationUnit unit = parseTinyC(source);
-    return lowerToIR(unit, entry_name, options);
+    // API-boundary handler: tools that have not opted into diagnostic
+    // collection keep the historical fatal-and-exit(1) behavior.
+    try {
+        TranslationUnit unit = parseTinyC(source);
+        return lowerToIR(unit, entry_name, options);
+    } catch (const RecoverableError &e) {
+        fatal(e.what());
+    }
+}
+
+std::optional<Program>
+compileTinyC(const std::string &source, DiagnosticEngine &diags,
+             const std::string &entry_name,
+             const LoweringOptions &options)
+{
+    try {
+        TranslationUnit unit = parseTinyC(source);
+        return lowerToIR(unit, entry_name, options);
+    } catch (const RecoverableError &e) {
+        diags.report(e.diagnostic());
+        return std::nullopt;
+    }
 }
 
 } // namespace chf

@@ -11,10 +11,12 @@
 #ifndef CHF_FRONTEND_LOWERING_H
 #define CHF_FRONTEND_LOWERING_H
 
+#include <optional>
 #include <string>
 
 #include "frontend/ast.h"
 #include "ir/program.h"
+#include "support/diagnostics.h"
 
 namespace chf {
 
@@ -27,17 +29,30 @@ struct LoweringOptions
 
 /**
  * Lower @p unit into a runnable Program whose entry function is
- * @p entry_name. Fatal on semantic errors (unknown names, recursion,
- * arity mismatches).
+ * @p entry_name. Throws RecoverableError on semantic errors (unknown
+ * names, recursion, arity mismatches) with source location.
  */
 Program lowerToIR(const TranslationUnit &unit,
                   const std::string &entry_name = "main",
                   const LoweringOptions &options = {});
 
-/** Convenience: parse + lower in one step. */
+/**
+ * Convenience: parse + lower in one step. Calls fatal() (exit 1) on
+ * malformed input; tools that want to keep going use the overload
+ * below.
+ */
 Program compileTinyC(const std::string &source,
                      const std::string &entry_name = "main",
                      const LoweringOptions &options = {});
+
+/**
+ * Parse + lower, reporting input errors to @p diags instead of
+ * exiting. Returns std::nullopt after recording the Diagnostic.
+ */
+std::optional<Program> compileTinyC(const std::string &source,
+                                    DiagnosticEngine &diags,
+                                    const std::string &entry_name = "main",
+                                    const LoweringOptions &options = {});
 
 } // namespace chf
 

@@ -1,6 +1,7 @@
 #include "frontend/parser.h"
 
 #include "frontend/lexer.h"
+#include "support/diagnostics.h"
 #include "support/fatal.h"
 
 namespace chf {
@@ -87,9 +88,9 @@ class Parser
     expect(TokenKind kind, const char *context)
     {
         if (!at(kind)) {
-            fatal(concat("line ", peek().line, ": expected ",
-                         tokenKindName(kind), " in ", context,
-                         ", found ", tokenKindName(peek().kind)));
+            errorHere(concat("expected ", tokenKindName(kind), " in ",
+                             context, ", found ",
+                             tokenKindName(peek().kind)));
         }
         return advance();
     }
@@ -97,7 +98,8 @@ class Parser
     [[noreturn]] void
     errorHere(const std::string &what)
     {
-        fatal(concat("line ", peek().line, ": ", what));
+        throwInputError("parse",
+                        SourceLoc::at(peek().line, peek().col), what);
     }
 
     GlobalDecl
@@ -106,6 +108,7 @@ class Parser
         GlobalDecl decl;
         decl.name = name.text;
         decl.line = name.line;
+        decl.col = name.col;
         if (accept(TokenKind::LBracket)) {
             Token size = expect(TokenKind::IntLit, "array size");
             decl.arraySize = size.intValue;
@@ -141,6 +144,7 @@ class Parser
         FuncDecl fn;
         fn.name = name.text;
         fn.line = name.line;
+        fn.col = name.col;
         expect(TokenKind::LParen, "parameter list");
         if (!at(TokenKind::RParen)) {
             do {
@@ -160,6 +164,7 @@ class Parser
         auto stmt = std::make_unique<Stmt>();
         stmt->kind = kind;
         stmt->line = peek().line;
+        stmt->col = peek().col;
         return stmt;
     }
 
@@ -380,6 +385,7 @@ class Parser
         auto expr = std::make_unique<Expr>();
         expr->kind = kind;
         expr->line = peek().line;
+        expr->col = peek().col;
         return expr;
     }
 
@@ -394,6 +400,7 @@ class Parser
         auto node = std::make_unique<Expr>();
         node->kind = Expr::Kind::Ternary;
         node->line = peek().line;
+        node->col = peek().col;
         node->args.push_back(std::move(cond));
         node->args.push_back(parseExpr());
         expect(TokenKind::Colon, "conditional expression");
@@ -414,6 +421,7 @@ class Parser
             auto node = std::make_unique<Expr>();
             node->kind = Expr::Kind::Binary;
             node->line = op.line;
+            node->col = op.col;
             node->op = op.text;
             node->lhs = std::move(lhs);
             node->rhs = std::move(rhs);
@@ -430,6 +438,7 @@ class Parser
             auto node = std::make_unique<Expr>();
             node->kind = Expr::Kind::Unary;
             node->line = op.line;
+            node->col = op.col;
             node->op = op.text;
             node->lhs = parseUnary();
             return node;
@@ -456,6 +465,7 @@ class Parser
                 auto node = std::make_unique<Expr>();
                 node->kind = Expr::Kind::Call;
                 node->line = name.line;
+                node->col = name.col;
                 node->name = name.text;
                 if (!at(TokenKind::RParen)) {
                     do {
@@ -469,6 +479,7 @@ class Parser
                 auto node = std::make_unique<Expr>();
                 node->kind = Expr::Kind::Index;
                 node->line = name.line;
+                node->col = name.col;
                 node->name = name.text;
                 node->lhs = parseExpr();
                 expect(TokenKind::RBracket, "array index");
@@ -477,6 +488,7 @@ class Parser
             auto node = std::make_unique<Expr>();
             node->kind = Expr::Kind::Var;
             node->line = name.line;
+            node->col = name.col;
             node->name = name.text;
             return node;
         }

@@ -25,7 +25,10 @@
 
 namespace chf {
 
-/** Parse TinyC source; calls fatal() with a line number on error. */
+/**
+ * Parse TinyC source; throws RecoverableError with a line and column
+ * on error.
+ */
 TranslationUnit parseTinyC(const std::string &source);
 
 } // namespace chf

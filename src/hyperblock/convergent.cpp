@@ -6,6 +6,8 @@
 
 #include "analysis/analysis_manager.h"
 #include "analysis/loops.h"
+#include "pipeline/pass_guard.h"
+#include "support/fault_inject.h"
 #include "transform/cfg_utils.h"
 
 namespace chf {
@@ -128,10 +130,25 @@ formHyperblocks(Function &fn, Policy &policy,
 
     // Expand seeds in reverse post-order; blocks merged away are
     // skipped (their id slots become null).
+    const bool guarded = options.keepGoing && options.diags != nullptr;
     std::vector<BlockId> seeds = fn.reversePostOrder();
     for (BlockId seed : seeds) {
-        if (fn.block(seed))
+        if (!fn.block(seed))
+            continue;
+        if (!guarded) {
             expandBlock(engine, policy, seed, options.maxMergesPerBlock);
+            continue;
+        }
+        // Transactional: a seed whose expansion corrupts the IR is
+        // rolled back alone; the remaining seeds still expand.
+        runGuarded(
+            fn, "formation-seed", *options.diags,
+            [&] {
+                expandBlock(engine, policy, seed,
+                            options.maxMergesPerBlock);
+                faultInjectionPoint("formation-seed", fn);
+            },
+            &engine.analyses());
     }
 
     fn.removeUnreachable();

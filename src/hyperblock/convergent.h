@@ -20,6 +20,8 @@
 
 namespace chf {
 
+class DiagnosticEngine;
+
 /** Options for whole-function formation. */
 struct FormationOptions
 {
@@ -27,6 +29,17 @@ struct FormationOptions
 
     /** Safety bound on merges into a single hyperblock. */
     size_t maxMergesPerBlock = 512;
+
+    /**
+     * Transactional per-seed expansion: checkpoint before each seed,
+     * verify after, and roll back just that seed's merges on failure
+     * (recorded in @p diags) instead of aborting. Off by default so
+     * the strict pipeline pays no snapshot cost.
+     */
+    bool keepGoing = false;
+
+    /** Failure sink for keepGoing mode; required when keepGoing. */
+    DiagnosticEngine *diags = nullptr;
 };
 
 /** Result: counters (blocksMerged / tailDuplicated / unrolled / peeled). */

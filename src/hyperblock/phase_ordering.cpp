@@ -5,10 +5,13 @@
 #include "analysis/loops.h"
 #include "backend/fanout.h"
 #include "backend/regalloc.h"
+#include "backend/scheduler.h"
 #include "hyperblock/vliw_policy.h"
 #include "ir/verifier.h"
+#include "pipeline/pass_guard.h"
 #include "sim/functional_sim.h"
 #include "support/fatal.h"
+#include "support/fault_inject.h"
 #include "support/timer.h"
 #include "transform/cfg_utils.h"
 #include "transform/for_loop_unroll.h"
@@ -47,7 +50,8 @@ policyKindName(PolicyKind kind)
 
 ProfileData
 prepareProgram(Program &program, const std::vector<int64_t> &args,
-               bool for_loop_unroll)
+               bool for_loop_unroll, DiagnosticEngine *diags,
+               bool keep_going)
 {
     simplifyCfg(program.fn);
     optimizeFunction(program.fn);
@@ -57,12 +61,26 @@ prepareProgram(Program &program, const std::vector<int64_t> &args,
     ProfileData profile = profileProgram(program, args);
 
     if (for_loop_unroll) {
-        size_t unrolled = unrollForLoops(program.fn, profile);
-        if (unrolled > 0) {
-            simplifyCfg(program.fn);
-            optimizeFunction(program.fn);
-            verifyOrDie(program.fn, "for-loop unrolling");
-            profile = profileProgram(program, args);
+        if (keep_going && diags) {
+            size_t unrolled = 0;
+            bool ok = runGuarded(program.fn, "unroll", *diags, [&] {
+                unrolled = unrollForLoops(program.fn, profile);
+                if (unrolled > 0) {
+                    simplifyCfg(program.fn);
+                    optimizeFunction(program.fn);
+                }
+                faultInjectionPoint("unroll", program.fn);
+            });
+            if (ok && unrolled > 0)
+                profile = profileProgram(program, args);
+        } else {
+            size_t unrolled = unrollForLoops(program.fn, profile);
+            if (unrolled > 0) {
+                simplifyCfg(program.fn);
+                optimizeFunction(program.fn);
+                verifyOrDie(program.fn, "for-loop unrolling");
+                profile = profileProgram(program, args);
+            }
         }
     }
     return profile;
@@ -158,7 +176,9 @@ discreteCfgUnrollPeel(Function &fn, const ProfileData &profile,
  */
 StatSet
 discreteMergeUnrollPeel(Function &fn, const ProfileData &profile,
-                        const MergeOptions &base_options)
+                        const MergeOptions &base_options,
+                        DiagnosticEngine *diags = nullptr,
+                        std::vector<std::string> *failed_phases = nullptr)
 {
     MergeOptions options = base_options;
     options.enableHeadDuplication = true;
@@ -166,25 +186,58 @@ discreteMergeUnrollPeel(Function &fn, const ProfileData &profile,
     MergeEngine engine(fn, options);
 
     // Unroll self-loop hyperblocks until the constraints say stop.
-    for (BlockId id : fn.blockIds()) {
-        if (!fn.block(id))
-            continue;
-        if (!branchesTo(*fn.block(id), id).empty())
-            unrollLoopMerge(engine, id, 4);
-    }
+    auto unroll_body = [&] {
+        for (BlockId id : fn.blockIds()) {
+            if (!fn.block(id))
+                continue;
+            if (!branchesTo(*fn.block(id), id).empty())
+                unrollLoopMerge(engine, id, 4);
+        }
+    };
 
     // Peel low-trip-count loops into their predecessors. The engine's
     // analysis cache is already current after the unroll merges.
-    std::vector<BlockId> headers;
-    for (const Loop &loop : engine.analyses().loops().loops())
-        headers.push_back(loop.header);
-    for (BlockId header : headers) {
-        double mean = profile.trips.meanTrips(header);
-        if (mean > 0.0 && mean <= 3.5) {
-            size_t k = profile.trips.tripQuantile(header, 0.5);
-            peelLoopMerge(engine, header, std::min<size_t>(k, 3));
+    auto peel_body = [&] {
+        std::vector<BlockId> headers;
+        for (const Loop &loop : engine.analyses().loops().loops())
+            headers.push_back(loop.header);
+        for (BlockId header : headers) {
+            double mean = profile.trips.meanTrips(header);
+            if (mean > 0.0 && mean <= 3.5) {
+                size_t k = profile.trips.tripQuantile(header, 0.5);
+                peelLoopMerge(engine, header, std::min<size_t>(k, 3));
+            }
+        }
+    };
+
+    if (!diags) {
+        unroll_body();
+        peel_body();
+    } else {
+        // Transactional: unroll and peel are separate guarded phases,
+        // so a failure in one still leaves the other's work in place.
+        if (!runGuarded(
+                fn, "unroll", *diags,
+                [&] {
+                    unroll_body();
+                    faultInjectionPoint("unroll", fn);
+                },
+                &engine.analyses()) &&
+            failed_phases) {
+            failed_phases->push_back("unroll");
+        }
+        if (!runGuarded(
+                fn, "peel", *diags,
+                [&] {
+                    peel_body();
+                    faultInjectionPoint("peel", fn);
+                },
+                &engine.analyses()) &&
+            failed_phases) {
+            failed_phases->push_back("peel");
         }
     }
+
     StatSet stats = engine.stats();
     stats.merge(engine.analyses().stats());
     return stats;
@@ -213,7 +266,46 @@ compileProgram(Program &program, const ProfileData &profile,
     FormationOptions formation;
     formation.merge = merge;
 
+    // Transactional mode: each destructive phase is checkpointed,
+    // verified, and rolled back on failure; strict mode takes the
+    // historical code paths untouched (no snapshots, verifyOrDie).
+    const bool guarded = options.keepGoing && options.diags != nullptr;
+    formation.keepGoing = guarded;
+    formation.diags = guarded ? options.diags : nullptr;
+
+    auto run_phase = [&](const char *name,
+                         const std::function<void()> &body) -> bool {
+        bool ok = runGuarded(fn, name, *options.diags, [&] {
+            body();
+            faultInjectionPoint(name, fn);
+        });
+        if (!ok)
+            result.failedPhases.push_back(name);
+        return ok;
+    };
+
     std::unique_ptr<Policy> policy = makePolicy(options.policy);
+
+    // The formation stage shared by every non-BB pipeline. In guarded
+    // mode the whole stage is one "formation" transaction (on top of
+    // the engine's own per-seed guards), so a failure degrades to the
+    // pre-formation CFG; stats are merged only if the stage survives.
+    auto formation_stage = [&] {
+        ScopedStatTimer t(result.stats, "usFormation");
+        StatSet formed_stats;
+        auto body = [&] {
+            FormationResult formed =
+                formHyperblocks(fn, *policy, formation);
+            formed_stats = formed.stats;
+        };
+        bool ok = true;
+        if (!guarded)
+            body();
+        else
+            ok = run_phase("formation", body);
+        if (ok)
+            result.stats.merge(formed_stats);
+    };
 
     switch (options.pipeline) {
       case Pipeline::BB:
@@ -221,33 +313,34 @@ compileProgram(Program &program, const ProfileData &profile,
       case Pipeline::UPIO: {
         {
             ScopedStatTimer t(result.stats, "usUnrollPeel");
-            result.stats.merge(
-                discreteCfgUnrollPeel(fn, profile, options.constraints));
+            if (!guarded) {
+                result.stats.merge(discreteCfgUnrollPeel(
+                    fn, profile, options.constraints));
+            } else {
+                StatSet up;
+                if (run_phase("unroll", [&] {
+                        up = discreteCfgUnrollPeel(fn, profile,
+                                                   options.constraints);
+                    })) {
+                    result.stats.merge(up);
+                }
+            }
         }
-        if (options.verifyStages)
+        if (!guarded && options.verifyStages)
             verifyOrDie(fn, "UPIO unroll/peel");
-        {
-            ScopedStatTimer t(result.stats, "usFormation");
-            FormationResult formed =
-                formHyperblocks(fn, *policy, formation);
-            result.stats.merge(formed.stats);
-        }
+        formation_stage();
         ScopedStatTimer t(result.stats, "usScalarOpt");
         optimizeFunction(fn);
         break;
       }
       case Pipeline::IUPO: {
-        {
-            ScopedStatTimer t(result.stats, "usFormation");
-            FormationResult formed =
-                formHyperblocks(fn, *policy, formation);
-            result.stats.merge(formed.stats);
-        }
+        formation_stage();
         {
             // The discrete unroller now sees accurate hyperblock sizes.
             ScopedStatTimer t(result.stats, "usUnrollPeel");
-            result.stats.merge(
-                discreteMergeUnrollPeel(fn, profile, merge));
+            result.stats.merge(discreteMergeUnrollPeel(
+                fn, profile, merge, guarded ? options.diags : nullptr,
+                guarded ? &result.failedPhases : nullptr));
         }
         ScopedStatTimer t(result.stats, "usScalarOpt");
         optimizeFunction(fn);
@@ -255,22 +348,17 @@ compileProgram(Program &program, const ProfileData &profile,
       }
       case Pipeline::IUP_O:
       case Pipeline::IUPO_fused: {
-        {
-            ScopedStatTimer t(result.stats, "usFormation");
-            FormationResult formed =
-                formHyperblocks(fn, *policy, formation);
-            result.stats.merge(formed.stats);
-        }
+        formation_stage();
         ScopedStatTimer t(result.stats, "usScalarOpt");
         optimizeFunction(fn);
         break;
       }
     }
 
-    if (options.verifyStages)
+    if (!guarded && options.verifyStages)
         verifyOrDie(fn, "hyperblock formation");
 
-    if (options.runBackend) {
+    if (options.runBackend && !guarded) {
         ScopedStatTimer t(result.stats, "usBackend");
         result.stats.set("nullWriteInsts",
                          static_cast<int64_t>(
@@ -297,6 +385,40 @@ compileProgram(Program &program, const ProfileData &profile,
                 splitOversizedBlocks(fn, options.constraints)));
         if (options.verifyStages)
             verifyOrDie(fn, "backend");
+    } else if (options.runBackend) {
+        ScopedStatTimer t(result.stats, "usBackend");
+        size_t null_writes = 0, spilled = 0, ra_split = 0;
+        if (run_phase("regalloc", [&] {
+                null_writes = normalizeOutputsFunction(fn);
+                optimizeFunction(fn);
+                RegAllocOptions ra;
+                ra.constraints = options.constraints;
+                RegAllocResult alloc = allocateRegisters(program, ra);
+                spilled = alloc.spilledValues;
+                ra_split = alloc.blocksSplit;
+            })) {
+            result.stats.set("nullWriteInsts",
+                             static_cast<int64_t>(null_writes));
+            result.stats.set("spilledValues",
+                             static_cast<int64_t>(spilled));
+            result.stats.set("blocksSplit",
+                             static_cast<int64_t>(ra_split));
+        }
+        size_t moves = 0;
+        if (run_phase("fanout",
+                      [&] { moves = insertFanoutFunction(fn); })) {
+            result.stats.set("fanoutMoves",
+                             static_cast<int64_t>(moves));
+        }
+        size_t late_split = 0;
+        if (run_phase("schedule", [&] {
+                late_split =
+                    splitOversizedBlocks(fn, options.constraints);
+                scheduleFunction(fn);
+            })) {
+            result.stats.add("blocksSplit",
+                             static_cast<int64_t>(late_split));
+        }
     }
 
     result.stats.set("finalBlocks",

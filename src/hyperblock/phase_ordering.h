@@ -25,9 +25,13 @@
 #ifndef CHF_HYPERBLOCK_PHASE_ORDERING_H
 #define CHF_HYPERBLOCK_PHASE_ORDERING_H
 
+#include <string>
+#include <vector>
+
 #include "analysis/profile.h"
 #include "hyperblock/convergent.h"
 #include "ir/program.h"
+#include "support/diagnostics.h"
 
 namespace chf {
 
@@ -69,12 +73,31 @@ struct CompileOptions
 
     /** Verify semantics-preservation hooks (IR verifier) per stage. */
     bool verifyStages = true;
+
+    /**
+     * Transactional mode: run each destructive phase (unroll, peel,
+     * formation, regalloc, fanout, schedule) under a checkpoint/verify
+     * guard. A phase that throws RecoverableError or fails the
+     * verifier is rolled back bit-identically and recorded in @p
+     * diags, and compilation continues with the degraded pipeline.
+     * Off by default: the strict pipeline takes the exact code paths
+     * it always has (no snapshots, verifyOrDie aborts).
+     */
+    bool keepGoing = false;
+
+    /** Failure sink for keepGoing mode; required when keepGoing. */
+    DiagnosticEngine *diags = nullptr;
 };
 
 /** Outcome counters: the m/t/u/p statistics plus backend numbers. */
 struct CompileResult
 {
     StatSet stats;
+
+    /** Phases rolled back in keepGoing mode (empty on a clean run). */
+    std::vector<std::string> failedPhases;
+
+    bool degraded() const { return !failedPhases.empty(); }
 };
 
 /**
@@ -83,10 +106,16 @@ struct CompileResult
  * profile, like Scale's use of prior compilations), re-simplification
  * and re-profiling. Leaves @p program in the "BB" baseline state and
  * returns the profile.
+ *
+ * With @p diags and @p keep_going set, the for-loop unroll runs as a
+ * guarded "unroll" transaction: on failure it is rolled back and
+ * recorded, and the unprepared-but-correct CFG proceeds.
  */
 ProfileData prepareProgram(Program &program,
                            const std::vector<int64_t> &args = {},
-                           bool for_loop_unroll = true);
+                           bool for_loop_unroll = true,
+                           DiagnosticEngine *diags = nullptr,
+                           bool keep_going = false);
 
 /** Apply a pipeline to a prepared, profiled program in place. */
 CompileResult compileProgram(Program &program, const ProfileData &profile,

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "support/diagnostics.h"
 #include "support/fatal.h"
 
 namespace chf {
@@ -97,8 +98,9 @@ class LineScanner
     [[noreturn]] void
     fail(const std::string &what)
     {
-        fatal(concat("IR parse error, line ", lineNo, ": ", what,
-                     " in \"", text, "\""));
+        throwInputError("ir-parse",
+                        SourceLoc::at(lineNo, static_cast<int>(pos) + 1),
+                        concat(what, " in \"", text, "\""));
     }
 
   private:
@@ -119,10 +121,9 @@ opcodeByName(const std::string &name, LineScanner &scanner)
     scanner.fail(concat("unknown opcode '", name, "'"));
 }
 
-} // namespace
-
+/** The throwing implementation; wrappers below pick the error policy. */
 Function
-parseFunctionIR(const std::string &text)
+parseFunctionIRImpl(const std::string &text)
 {
     std::istringstream in(text);
     std::string line;
@@ -134,7 +135,7 @@ parseFunctionIR(const std::string &text)
     std::vector<Vreg> args;
     {
         if (!std::getline(in, line))
-            fatal("IR parse error: empty input");
+            throwInputError("ir-parse", SourceLoc{}, "empty input");
         ++line_no;
         LineScanner scanner(line, line_no);
         if (scanner.word() != "function")
@@ -177,9 +178,10 @@ parseFunctionIR(const std::string &text)
         if (line.empty())
             continue;
         if (line[0] == ' ') {
-            if (raw.empty())
-                fatal(concat("IR parse error, line ", line_no,
-                             ": instruction before any block"));
+            if (raw.empty()) {
+                throwInputError("ir-parse", SourceLoc::at(line_no, 1),
+                                "instruction before any block");
+            }
             raw.back().lines.emplace_back(line_no, line);
             continue;
         }
@@ -297,6 +299,31 @@ parseFunctionIR(const std::string &text)
     while (fn.numVregs() < max_vreg)
         fn.newVreg();
     return fn;
+}
+
+} // namespace
+
+Function
+parseFunctionIR(const std::string &text)
+{
+    // API-boundary handler: keep the historical fatal-and-exit(1)
+    // behavior for callers without a DiagnosticEngine.
+    try {
+        return parseFunctionIRImpl(text);
+    } catch (const RecoverableError &e) {
+        fatal(e.what());
+    }
+}
+
+std::optional<Function>
+parseFunctionIR(const std::string &text, DiagnosticEngine &diags)
+{
+    try {
+        return parseFunctionIRImpl(text);
+    } catch (const RecoverableError &e) {
+        diags.report(e.diagnostic());
+        return std::nullopt;
+    }
 }
 
 } // namespace chf

@@ -17,17 +17,26 @@
 #ifndef CHF_IR_IR_PARSER_H
 #define CHF_IR_IR_PARSER_H
 
+#include <optional>
 #include <string>
 
 #include "ir/function.h"
+#include "support/diagnostics.h"
 
 namespace chf {
 
 /**
- * Parse a function from printer output. Calls fatal() with a line
- * number on malformed input.
+ * Parse a function from printer output. Calls fatal() (exit 1) with a
+ * line and column on malformed input.
  */
 Function parseFunctionIR(const std::string &text);
+
+/**
+ * Parse a function, reporting malformed input to @p diags instead of
+ * exiting. Returns std::nullopt after recording the Diagnostic.
+ */
+std::optional<Function> parseFunctionIR(const std::string &text,
+                                        DiagnosticEngine &diags);
 
 } // namespace chf
 

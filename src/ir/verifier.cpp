@@ -1,5 +1,7 @@
 #include "ir/verifier.h"
 
+#include <algorithm>
+
 #include "ir/printer.h"
 #include "support/fatal.h"
 
@@ -78,6 +80,30 @@ verify(const Function &fn)
                                       " out of range"));
     }
 
+    // Where each in-range vreg is defined, for the predicate
+    // reaching-definition check: a predicate use must see its register
+    // defined earlier in the same block, by a function argument, or by
+    // some other block (a cross-block live-in).
+    std::vector<uint8_t> defined_by_arg(fn.numVregs(), 0);
+    for (Vreg arg : fn.argRegs) {
+        if (arg < fn.numVregs())
+            defined_by_arg[arg] = 1;
+    }
+    // Count of blocks defining each vreg (2 saturates: "many").
+    std::vector<uint8_t> defining_blocks(fn.numVregs(), 0);
+    for (BlockId id : fn.blockIds()) {
+        std::vector<uint8_t> seen(fn.numVregs(), 0);
+        for (const Instruction &inst : fn.block(id)->insts) {
+            if (inst.hasDest() && inst.dest < fn.numVregs() &&
+                !seen[inst.dest]) {
+                seen[inst.dest] = 1;
+                if (defining_blocks[inst.dest] < 2)
+                    ++defining_blocks[inst.dest];
+            }
+        }
+    }
+
+    std::vector<uint8_t> defined_here(fn.numVregs(), 0);
     for (BlockId id : fn.blockIds()) {
         const BasicBlock &bb = *fn.block(id);
         if (bb.insts.empty()) {
@@ -85,16 +111,43 @@ verify(const Function &fn)
             continue;
         }
 
+        std::fill(defined_here.begin(), defined_here.end(), 0);
+        std::vector<uint8_t> defined_in_block(fn.numVregs(), 0);
+        for (const Instruction &inst : bb.insts) {
+            if (inst.hasDest() && inst.dest < fn.numVregs())
+                defined_in_block[inst.dest] = 1;
+        }
+
         size_t branches = 0;
         size_t unpredicated_branches = 0;
         for (size_t i = 0; i < bb.insts.size(); ++i) {
             const Instruction &inst = bb.insts[i];
             checkInst(fn, bb, i, inst, problems);
+            if (inst.pred.valid() && inst.pred.reg < fn.numVregs()) {
+                // A reaching definition is: one earlier in this block,
+                // a function argument, or a def in some *other* block
+                // (a cross-block live-in). A predicate whose only def
+                // is later in this same block, or that has no def at
+                // all, reads an undefined value.
+                Vreg p = inst.pred.reg;
+                bool reaches =
+                    defined_here[p] || defined_by_arg[p] ||
+                    defining_blocks[p] >= 2 ||
+                    (defining_blocks[p] == 1 && !defined_in_block[p]);
+                if (!reaches) {
+                    problems.push_back(
+                        concat("bb", id, "[", i, "] ", toString(inst),
+                               ": predicate register v", p,
+                               " has no reaching definition"));
+                }
+            }
             if (inst.isBranch()) {
                 ++branches;
                 if (!inst.pred.valid())
                     ++unpredicated_branches;
             }
+            if (inst.hasDest() && inst.dest < fn.numVregs())
+                defined_here[inst.dest] = 1;
         }
         if (branches == 0)
             problems.push_back(concat("bb", id, " has no branch or ret"));
@@ -102,6 +155,32 @@ verify(const Function &fn)
             problems.push_back(concat("bb", id, " has ",
                                       unpredicated_branches,
                                       " unpredicated branches"));
+        }
+
+        // The block's successor list must be exactly the set of its
+        // branch targets, and every successor must be a live block.
+        std::vector<BlockId> expected;
+        for (const Instruction &inst : bb.insts) {
+            if (inst.op == Opcode::Br && inst.target != kNoBlock &&
+                std::find(expected.begin(), expected.end(),
+                          inst.target) == expected.end()) {
+                expected.push_back(inst.target);
+            }
+        }
+        std::vector<BlockId> actual = bb.successors();
+        if (actual != expected) {
+            problems.push_back(concat(
+                "bb", id, " successor list does not match its "
+                "terminator targets (", actual.size(), " successors, ",
+                expected.size(), " branch targets)"));
+        }
+        for (BlockId succ : actual) {
+            if (succ >= fn.blockTableSize() ||
+                fn.block(succ) == nullptr) {
+                problems.push_back(concat("bb", id,
+                                          " successor list names dead "
+                                          "block bb", succ));
+            }
         }
     }
     return problems;

@@ -1,0 +1,15 @@
+#include "pipeline/checkpoint.h"
+
+#include "analysis/analysis_manager.h"
+
+namespace chf {
+
+void
+FunctionCheckpoint::restore(Function &fn, AnalysisManager *analyses) const
+{
+    fn = snapshot.clone();
+    if (analyses != nullptr)
+        analyses->invalidateAll();
+}
+
+} // namespace chf

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Function checkpoints: cheap snapshot/restore for transactional
+ * phases.
+ *
+ * A FunctionCheckpoint deep-copies a Function (block table, block ids,
+ * instructions, vreg numbering, entry, arg registers) at construction;
+ * restore() replaces the live function's state with the snapshot,
+ * bit-identical to the moment of capture (printer output compares
+ * equal). Analyses cached against the function must be dropped on
+ * restore — pass the AnalysisManager so the checkpoint can invalidate
+ * it, or call invalidateAll() yourself.
+ *
+ * This generalizes the paper's discipline of testing every merge in
+ * scratch space and discarding failures (Fig. 5) from a single merge
+ * to a whole pipeline phase; see DESIGN.md §7.
+ */
+
+#ifndef CHF_PIPELINE_CHECKPOINT_H
+#define CHF_PIPELINE_CHECKPOINT_H
+
+#include "ir/function.h"
+
+namespace chf {
+
+class AnalysisManager;
+
+/** A snapshot of one function, restorable any number of times. */
+class FunctionCheckpoint
+{
+  public:
+    explicit FunctionCheckpoint(const Function &fn) : snapshot(fn.clone())
+    {
+    }
+
+    /**
+     * Restore @p fn to the captured state. @p analyses (if non-null)
+     * is fully invalidated, since every cached fact may be stale.
+     */
+    void restore(Function &fn, AnalysisManager *analyses = nullptr) const;
+
+    /** The captured image (for equality checks in tests). */
+    const Function &image() const { return snapshot; }
+
+  private:
+    Function snapshot;
+};
+
+} // namespace chf
+
+#endif // CHF_PIPELINE_CHECKPOINT_H

@@ -1,0 +1,49 @@
+#include "pipeline/pass_guard.h"
+
+#include "ir/verifier.h"
+#include "pipeline/checkpoint.h"
+
+namespace chf {
+
+bool
+runGuarded(Function &fn, const std::string &phase, DiagnosticEngine &diags,
+           const std::function<void()> &body, AnalysisManager *analyses)
+{
+    FunctionCheckpoint checkpoint(fn);
+    bool failed = false;
+    try {
+        body();
+        std::vector<std::string> problems = verify(fn);
+        if (!problems.empty()) {
+            for (const std::string &problem : problems) {
+                Diagnostic d = Diagnostic::error(
+                    phase, concat("verifier: ", problem));
+                d.function = fn.name();
+                diags.report(std::move(d));
+            }
+            failed = true;
+        }
+    } catch (const RecoverableError &e) {
+        Diagnostic d = e.diagnostic();
+        if (d.phase.empty())
+            d.phase = phase;
+        if (d.function.empty())
+            d.function = fn.name();
+        diags.report(std::move(d));
+        failed = true;
+    }
+
+    if (!failed)
+        return true;
+
+    checkpoint.restore(fn, analyses);
+    Diagnostic rollback = Diagnostic::error(
+        phase, concat("rolled back '", phase, "' for fn '", fn.name(),
+                      "'; continuing with degraded pipeline"));
+    rollback.severity = Severity::Note;
+    rollback.function = fn.name();
+    diags.report(std::move(rollback));
+    return false;
+}
+
+} // namespace chf

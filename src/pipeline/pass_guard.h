@@ -1,0 +1,42 @@
+/**
+ * @file
+ * PassGuard: run a pipeline phase transactionally.
+ *
+ * A guarded phase is checkpointed, executed, and verified. If the
+ * phase throws RecoverableError or leaves the function in a state the
+ * IR verifier rejects, the function is rolled back to the checkpoint
+ * (bit-identical), the failure is recorded in the DiagnosticEngine,
+ * and run() returns false so the caller can continue with a degraded
+ * pipeline for this function. panic()/CHF_ASSERT still abort: those
+ * mark memory-safety invariants for which no rollback is sound.
+ */
+
+#ifndef CHF_PIPELINE_PASS_GUARD_H
+#define CHF_PIPELINE_PASS_GUARD_H
+
+#include <functional>
+#include <string>
+
+#include "ir/function.h"
+#include "support/diagnostics.h"
+
+namespace chf {
+
+class AnalysisManager;
+
+/**
+ * Run @p body over @p fn as a transaction named @p phase.
+ *
+ * On success (body returned and verify(fn) is clean) returns true and
+ * the checkpoint is discarded. On failure returns false with @p fn
+ * restored to its pre-phase state, @p analyses (if given) fully
+ * invalidated, and an Error plus rollback Note recorded in @p diags.
+ */
+bool runGuarded(Function &fn, const std::string &phase,
+                DiagnosticEngine &diags,
+                const std::function<void()> &body,
+                AnalysisManager *analyses = nullptr);
+
+} // namespace chf
+
+#endif // CHF_PIPELINE_PASS_GUARD_H

@@ -1,0 +1,103 @@
+#include "support/diagnostics.h"
+
+#include <algorithm>
+
+namespace chf {
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream os;
+    os << severityName(severity) << ": ";
+    if (!phase.empty())
+        os << phase << ": ";
+    if (!function.empty())
+        os << "fn '" << function << "': ";
+    if (loc.valid()) {
+        os << loc.line;
+        if (loc.column > 0)
+            os << ":" << loc.column;
+        os << ": ";
+    }
+    if (block != kNoBlock)
+        os << "bb" << block << ": ";
+    os << message;
+    return os.str();
+}
+
+void
+DiagnosticEngine::report(Diagnostic diag)
+{
+    diags.push_back(std::move(diag));
+}
+
+void
+DiagnosticEngine::error(std::string phase, std::string message)
+{
+    report(Diagnostic::error(std::move(phase), std::move(message)));
+}
+
+void
+DiagnosticEngine::note(std::string phase, std::string message)
+{
+    Diagnostic d = Diagnostic::error(std::move(phase), std::move(message));
+    d.severity = Severity::Note;
+    report(std::move(d));
+}
+
+size_t
+DiagnosticEngine::count(Severity severity) const
+{
+    return static_cast<size_t>(
+        std::count_if(diags.begin(), diags.end(),
+                      [&](const Diagnostic &d) {
+                          return d.severity == severity;
+                      }));
+}
+
+bool
+DiagnosticEngine::hasPhase(const std::string &phase) const
+{
+    return std::any_of(diags.begin(), diags.end(),
+                       [&](const Diagnostic &d) {
+                           return d.phase == phase;
+                       });
+}
+
+std::string
+DiagnosticEngine::toString() const
+{
+    std::string out;
+    for (const Diagnostic &d : diags) {
+        out += d.toString();
+        out += '\n';
+    }
+    return out;
+}
+
+void
+DiagnosticEngine::print(std::FILE *out) const
+{
+    for (const Diagnostic &d : diags)
+        std::fprintf(out, "%s\n", d.toString().c_str());
+}
+
+void
+throwInputError(std::string phase, SourceLoc loc, std::string message)
+{
+    throw RecoverableError(
+        Diagnostic::inputError(std::move(phase), loc, std::move(message)));
+}
+
+} // namespace chf

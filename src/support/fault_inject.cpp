@@ -1,0 +1,145 @@
+#include "support/fault_inject.h"
+
+#include <cstdlib>
+
+#include "support/diagnostics.h"
+
+namespace chf {
+
+namespace {
+
+/** Split "key:value" out of one comma-separated field. */
+bool
+splitField(const std::string &field, std::string *key, std::string *value)
+{
+    size_t colon = field.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= field.size()) {
+        return false;
+    }
+    *key = field.substr(0, colon);
+    *value = field.substr(colon + 1);
+    return true;
+}
+
+} // namespace
+
+bool
+parseFaultSpec(const std::string &text, FaultSpec *out, std::string *err)
+{
+    FaultSpec spec;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t comma = text.find(',', pos);
+        std::string field =
+            text.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        pos = comma == std::string::npos ? text.size() + 1 : comma + 1;
+        if (field.empty())
+            continue;
+
+        std::string key, value;
+        if (!splitField(field, &key, &value)) {
+            *err = concat("malformed fault field '", field,
+                          "' (want key:value)");
+            return false;
+        }
+        if (key == "phase") {
+            spec.phase = value == "any" ? "" : value;
+        } else if (key == "fn" || key == "occ") {
+            char *end = nullptr;
+            long n = std::strtol(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0' || n < 0) {
+                *err = concat("bad fault occurrence '", value, "'");
+                return false;
+            }
+            spec.occurrence = static_cast<int>(n);
+        } else if (key == "kind") {
+            if (value == "corrupt-ir") {
+                spec.kind = FaultSpec::Kind::CorruptIr;
+            } else if (value == "throw") {
+                spec.kind = FaultSpec::Kind::Throw;
+            } else {
+                *err = concat("unknown fault kind '", value,
+                              "' (want corrupt-ir or throw)");
+                return false;
+            }
+        } else {
+            *err = concat("unknown fault field '", key, "'");
+            return false;
+        }
+    }
+    *out = spec;
+    return true;
+}
+
+FaultInjector::FaultInjector()
+{
+    const char *env = std::getenv("CHF_FAULT");
+    if (env != nullptr && env[0] != '\0') {
+        FaultSpec parsed;
+        std::string err;
+        if (!parseFaultSpec(env, &parsed, &err))
+            fatal(concat("CHF_FAULT: ", err));
+        spec = parsed;
+        isArmed = true;
+    }
+}
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::arm(const FaultSpec &new_spec)
+{
+    spec = new_spec;
+    isArmed = true;
+    seen = 0;
+    fired = 0;
+    lastFiredSite.clear();
+}
+
+void
+FaultInjector::disarm()
+{
+    isArmed = false;
+    seen = 0;
+    fired = 0;
+    lastFiredSite.clear();
+}
+
+void
+FaultInjector::hook(const char *phase, Function &fn)
+{
+    if (!isArmed)
+        return;
+    if (!spec.phase.empty() && spec.phase != phase)
+        return;
+    if (seen++ != spec.occurrence)
+        return;
+
+    ++fired;
+    lastFiredSite = concat(phase, "#", spec.occurrence);
+
+    if (spec.kind == FaultSpec::Kind::Throw) {
+        Diagnostic d = Diagnostic::error(
+            phase, concat("injected fault (throw) at ", lastFiredSite));
+        d.function = fn.name();
+        throw RecoverableError(std::move(d));
+    }
+
+    // corrupt-ir: empty out the last live block. An empty block is a
+    // corruption every internal consumer tolerates structurally (no
+    // out-of-range ids are introduced) but the verifier always flags,
+    // so the enclosing guard must detect it and roll back.
+    std::vector<BlockId> ids = fn.blockIds();
+    if (ids.empty())
+        return;
+    fn.block(ids.back())->insts.clear();
+}
+
+} // namespace chf

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic fault injection for the transactional pass pipeline.
+ *
+ * A FaultInjector is armed with one FaultSpec naming a guarded phase,
+ * an occurrence index, and a fault kind. Each guarded phase calls
+ * faultInjectionPoint(phase, fn) exactly once per function it
+ * processes; when the armed spec matches the phase and the occurrence
+ * counter, the injector either corrupts the IR (a corruption the
+ * verifier is guaranteed to catch) or throws RecoverableError. The
+ * enclosing PassGuard then rolls the function back to its checkpoint,
+ * proving the recovery path end to end.
+ *
+ * Spec grammar (flag --fault=... / env CHF_FAULT=...):
+ *
+ *   phase:<name>,fn:<n>,kind:<corrupt-ir|throw>
+ *
+ * where <name> is one of the guarded phase names (unroll, peel,
+ * formation, formation-seed, fanout, regalloc, schedule, or "any"),
+ * fn:<n> selects the n-th (0-based) matching hook firing — with the
+ * single-function Program this indexes functions/seeds compiled in
+ * order — and kind selects the fault. "occ" is accepted as an alias
+ * for "fn". Fields may appear in any order; phase defaults to "any",
+ * fn to 0, kind to throw.
+ */
+
+#ifndef CHF_SUPPORT_FAULT_INJECT_H
+#define CHF_SUPPORT_FAULT_INJECT_H
+
+#include <string>
+
+#include "ir/function.h"
+
+namespace chf {
+
+/** What to inject, where. */
+struct FaultSpec
+{
+    enum class Kind : uint8_t
+    {
+        CorruptIr, ///< mutate the IR so verify() must fail
+        Throw,     ///< throw RecoverableError from the hook
+    };
+
+    /** Guarded phase name; empty matches any phase. */
+    std::string phase;
+
+    /** Fire on the n-th (0-based) hook call matching @p phase. */
+    int occurrence = 0;
+
+    Kind kind = Kind::Throw;
+};
+
+/**
+ * Parse the "phase:P,fn:N,kind:K" grammar. Returns true on success;
+ * on failure fills @p err and leaves @p out untouched.
+ */
+bool parseFaultSpec(const std::string &text, FaultSpec *out,
+                    std::string *err);
+
+/** Process-wide injector. Single-threaded, like the pipeline. */
+class FaultInjector
+{
+  public:
+    /** The instance; parses CHF_FAULT from the environment once. */
+    static FaultInjector &instance();
+
+    /** Arm @p spec and reset the occurrence/fired counters. */
+    void arm(const FaultSpec &spec);
+
+    /** Disarm and reset counters. */
+    void disarm();
+
+    bool armed() const { return isArmed; }
+
+    /** Times a fault actually fired since the last arm(). */
+    size_t firedCount() const { return fired; }
+
+    /** "phase#occurrence" of the last fault fired ("" if none). */
+    const std::string &lastSite() const { return lastFiredSite; }
+
+    /**
+     * Hook point called once per function inside each guarded phase.
+     * May corrupt @p fn in place or throw RecoverableError.
+     */
+    void hook(const char *phase, Function &fn);
+
+  private:
+    FaultInjector();
+
+    bool isArmed = false;
+    FaultSpec spec;
+    int seen = 0;
+    size_t fired = 0;
+    std::string lastFiredSite;
+};
+
+/** Convenience wrapper used at the hook points. */
+inline void
+faultInjectionPoint(const char *phase, Function &fn)
+{
+    FaultInjector &injector = FaultInjector::instance();
+    if (injector.armed())
+        injector.hook(phase, fn);
+}
+
+} // namespace chf
+
+#endif // CHF_SUPPORT_FAULT_INJECT_H

@@ -228,5 +228,70 @@ TEST(Verifier, RejectsTwoUnpredicatedBranches)
     EXPECT_FALSE(verify(fn).empty());
 }
 
+bool
+mentions(const std::vector<std::string> &problems, const char *needle)
+{
+    for (const std::string &p : problems) {
+        if (p.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+TEST(Verifier, RejectsOutOfRangePredicateRegister)
+{
+    Function fn = makeDiamond();
+    fn.block(1)->insts[0].pred = Predicate::onReg(1000, true);
+    EXPECT_TRUE(mentions(verify(fn), "out of range"));
+}
+
+TEST(Verifier, RejectsPredicateWithoutAnyDefinition)
+{
+    Function fn = makeDiamond();
+    Vreg ghost = fn.newVreg();
+    fn.block(1)->insts[0].pred = Predicate::onReg(ghost, true);
+    EXPECT_TRUE(mentions(verify(fn), "no reaching definition"));
+}
+
+TEST(Verifier, RejectsPredicateDefinedOnlyLaterInSameBlock)
+{
+    Function fn = makeDiamond();
+    Vreg p = fn.newVreg();
+    Vreg q = fn.newVreg();
+    Instruction use = Instruction::unary(Opcode::Mov, q,
+                                         Operand::makeImm(1));
+    use.pred = Predicate::onReg(p, true);
+    Instruction def = Instruction::binary(
+        Opcode::Teq, p, Operand::makeImm(0), Operand::makeImm(0));
+    auto &insts = fn.block(3)->insts;
+    insts.insert(insts.begin(), def);  // [def p, ret]
+    insts.insert(insts.begin(), use);  // [use p, def p, ret]
+    EXPECT_TRUE(mentions(verify(fn), "no reaching definition"));
+
+    // With the definition moved ahead of the use it is well-formed.
+    std::swap(insts[0], insts[1]);
+    EXPECT_TRUE(verify(fn).empty());
+}
+
+TEST(Verifier, AcceptsPredicateLiveInFromAnotherBlock)
+{
+    Function fn = makeDiamond();
+    // The entry defines a register (the branch condition); predicating
+    // an instruction of the join on it is a cross-block live-in.
+    Vreg c = fn.block(0)->insts[0].dest;
+    ASSERT_NE(c, kNoVreg);
+    fn.block(3)->insts[0].pred = Predicate::onReg(c, true);
+    EXPECT_TRUE(verify(fn).empty());
+}
+
+TEST(Verifier, RejectsSuccessorListNamingDeadBlock)
+{
+    Function fn = makeDiamond();
+    fn.removeBlock(3);
+    auto problems = verify(fn);
+    EXPECT_TRUE(mentions(problems, "branch to dead or invalid block"));
+    EXPECT_TRUE(mentions(problems, "successor list names dead block"));
+}
+
 } // namespace
 } // namespace chf

@@ -75,14 +75,29 @@ TEST(IrParser, HandlesHyperblockOutputWithHoles)
 TEST(IrParser, RejectsGarbage)
 {
     EXPECT_EXIT(parseFunctionIR("nonsense"),
-                ::testing::ExitedWithCode(1), "IR parse error");
+                ::testing::ExitedWithCode(1),
+                "ir-parse: 1:.*expected 'function'");
     EXPECT_EXIT(parseFunctionIR("function f entry=bb0\n"
                                 "blk (bb0, 1 insts):\n"
                                 "  frobnicate v0 = v1\n"),
-                ::testing::ExitedWithCode(1), "unknown opcode");
+                ::testing::ExitedWithCode(1),
+                "ir-parse: 3:.*unknown opcode");
     EXPECT_EXIT(parseFunctionIR("function f entry=bb0\n"
                                 "  add v0 = v1, v2\n"),
-                ::testing::ExitedWithCode(1), "before any block");
+                ::testing::ExitedWithCode(1),
+                "ir-parse: 2:1: instruction before any block");
+}
+
+TEST(IrParser, CollectsParseErrorAsDiagnostic)
+{
+    DiagnosticEngine diags;
+    std::optional<Function> fn = parseFunctionIR("nonsense", diags);
+    EXPECT_FALSE(fn.has_value());
+    ASSERT_EQ(diags.errorCount(), 1u);
+    const Diagnostic &d = diags.diagnostics().front();
+    EXPECT_EQ(d.phase, "ir-parse");
+    EXPECT_EQ(d.loc.line, 1);
+    EXPECT_NE(d.message.find("expected 'function'"), std::string::npos);
 }
 
 } // namespace
