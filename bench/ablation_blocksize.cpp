@@ -36,13 +36,13 @@ main()
             ProfileData profile = prepareProgram(base);
             FuncSimResult oracle = runFunctional(base);
 
-            CompileOptions bb_options;
+            SessionOptions bb_options;
             bb_options.pipeline = Pipeline::BB;
             ConfigResult bb =
                 measure(base, profile, bb_options, oracle.returnValue,
                         oracle.memoryHash);
 
-            CompileOptions options;
+            SessionOptions options;
             options.pipeline = Pipeline::IUPO_fused;
             options.constraints.maxInsts = max_insts;
             ConfigResult run =

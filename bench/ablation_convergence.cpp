@@ -56,13 +56,13 @@ main()
                 prepareProgram(base, {}, variants[v].frontEndUnroll);
             FuncSimResult oracle = runFunctional(base);
 
-            CompileOptions bb_options;
+            SessionOptions bb_options;
             bb_options.pipeline = Pipeline::BB;
             ConfigResult bb =
                 measure(base, profile, bb_options, oracle.returnValue,
                         oracle.memoryHash);
 
-            CompileOptions options;
+            SessionOptions options;
             options.blockSplitting = variants[v].blockSplitting;
             options.pipeline = variants[v].optimizeInLoop
                                    ? Pipeline::IUPO_fused

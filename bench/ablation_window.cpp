@@ -37,16 +37,15 @@ main()
                 config.maxInFlightBlocks = window;
                 config.blockDispatchInterval = dispatch;
 
-                Program bb_program = cloneProgram(base);
-                CompileOptions bb_options;
-                bb_options.pipeline = Pipeline::BB;
-                compileProgram(bb_program, profile, bb_options);
+                Program bb_program = compileClone(
+                    base, profile,
+                    SessionOptions().withPipeline(Pipeline::BB));
                 TimingResult bb = runTiming(bb_program, config);
 
-                Program program = cloneProgram(base);
-                CompileOptions options;
-                options.pipeline = Pipeline::IUPO_fused;
-                compileProgram(program, profile, options);
+                Program program = compileClone(
+                    base, profile,
+                    SessionOptions().withPipeline(
+                        Pipeline::IUPO_fused));
                 TimingResult run = runTiming(program, config);
 
                 sum += improvementPct(bb.cycles, run.cycles);

@@ -46,15 +46,19 @@ main()
             ProfileData profile = prepareProgram(base);
             FuncSimResult oracle = runFunctional(base);
 
-            CompileOptions options;
+            SessionOptions options;
             options.pipeline = pipeline;
-            ConfigResult run = measure(base, profile, options,
-                                       oracle.returnValue,
-                                       oracle.memoryHash);
-            Program compiled = cloneProgram(base);
-            compileProgram(compiled, profile, options);
+            Session session(options);
+            size_t unit =
+                session.addProgram(cloneProgram(base), profile);
+            SessionResult compiled = session.compile();
+            ConfigResult run = measureCompiled(
+                session.program(unit),
+                std::move(compiled.functions[unit].stats),
+                oracle.returnValue, oracle.memoryHash, label);
             BlockReport report = analyzeBlocks(
-                compiled.fn, constraints, &run.functional);
+                session.program(unit).fn, constraints,
+                &run.functional);
 
             size += report.meanBlockSize;
             sfill += report.staticUtilization * 100;

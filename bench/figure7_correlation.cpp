@@ -31,7 +31,7 @@ main()
         ProfileData profile = prepareProgram(base);
         FuncSimResult oracle = runFunctional(base);
 
-        CompileOptions bb_options;
+        SessionOptions bb_options;
         bb_options.pipeline = Pipeline::BB;
         ConfigResult bb = measure(base, profile, bb_options,
                                   oracle.returnValue, oracle.memoryHash);
@@ -43,7 +43,7 @@ main()
             {"(IUPO)", Pipeline::IUPO_fused},
         };
         for (const auto &[label, pipeline] : configs) {
-            CompileOptions options;
+            SessionOptions options;
             options.pipeline = pipeline;
             ConfigResult run = measure(base, profile, options,
                                        oracle.returnValue,

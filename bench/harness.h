@@ -1,14 +1,22 @@
 /**
  * @file
  * Shared helpers for the paper-table benchmark binaries.
+ *
+ * All benches compile through chf::Session. Table-style benches batch
+ * every (workload, configuration) pair into one session and accept a
+ * --threads=N flag; because Session output is bit-identical at any
+ * thread count, the rendered tables are byte-for-byte the same
+ * whatever N is.
  */
 
 #ifndef CHF_BENCH_HARNESS_H
 #define CHF_BENCH_HARNESS_H
 
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
-#include "hyperblock/phase_ordering.h"
+#include "pipeline/session.h"
 #include "sim/functional_sim.h"
 #include "sim/timing_sim.h"
 #include "support/fatal.h"
@@ -27,6 +35,21 @@ cloneProgram(const Program &program)
     return copy;
 }
 
+/** Parse --threads=N from argv; defaults to 1 (sequential). */
+inline int
+parseThreadsFlag(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+            int n = std::atoi(argv[i] + 10);
+            if (n < 1)
+                fatal("--threads wants a positive integer");
+            return n;
+        }
+    }
+    return 1;
+}
+
 /** Everything measured for one workload under one configuration. */
 struct ConfigResult
 {
@@ -36,26 +59,60 @@ struct ConfigResult
 };
 
 /**
- * Compile a prepared program under @p options and measure it with both
- * simulators. Asserts that semantics match the baseline hashes.
+ * Simulate an already-compiled program with both simulators and assert
+ * that semantics match the baseline hashes. @p label names the
+ * configuration in the failure message.
  */
 inline ConfigResult
-measure(const Program &prepared, const ProfileData &profile,
-        const CompileOptions &options, int64_t expect_return,
-        uint64_t expect_memory)
+measureCompiled(const Program &program, StatSet stats,
+                int64_t expect_return, uint64_t expect_memory,
+                const std::string &label)
 {
-    Program program = cloneProgram(prepared);
     ConfigResult out;
-    out.stats = compileProgram(program, profile, options).stats;
+    out.stats = std::move(stats);
     out.functional = runFunctional(program);
     out.timing = runTiming(program);
     if (out.functional.returnValue != expect_return ||
         out.functional.memoryHash != expect_memory) {
-        fatal(concat("semantics changed under ",
-                     pipelineName(options.pipeline), "/",
-                     policyKindName(options.policy)));
+        fatal(concat("semantics changed under ", label));
     }
     return out;
+}
+
+/**
+ * Compile a clone of a prepared program under @p options through a
+ * single-unit Session and measure it with both simulators. Asserts
+ * that semantics match the baseline hashes.
+ */
+inline ConfigResult
+measure(const Program &prepared, const ProfileData &profile,
+        const SessionOptions &options, int64_t expect_return,
+        uint64_t expect_memory)
+{
+    Session session(options);
+    size_t unit =
+        session.addProgram(cloneProgram(prepared), profile);
+    SessionResult compiled = session.compile(1);
+    return measureCompiled(session.program(unit),
+                           std::move(compiled.functions[unit].stats),
+                           expect_return, expect_memory,
+                           concat(pipelineName(options.pipeline), "/",
+                                  policyKindName(options.policy)));
+}
+
+/**
+ * Compile a clone of @p prepared under @p options through a single-unit
+ * Session and hand back the compiled program (for callers that want to
+ * run their own simulation or reporting on it).
+ */
+inline Program
+compileClone(const Program &prepared, const ProfileData &profile,
+             const SessionOptions &options)
+{
+    Session session(options);
+    size_t unit = session.addProgram(cloneProgram(prepared), profile);
+    session.compile(1);
+    return cloneProgram(session.program(unit));
 }
 
 /** Percent improvement of @p cycles over @p base_cycles. */

@@ -8,12 +8,15 @@
  *
  *  - default: google-benchmark micro suite, then a formation wall-time
  *    sweep over every speclike workload with the analysis cache on and
- *    off, written to BENCH_pass_speed.json for trajectory tracking.
- *  - --json-only: skip the micro suite, emit only the JSON sweep.
+ *    off, then a parallel-session sweep (an 8-unit synth64 batch at
+ *    1/2/4/8 worker threads), all written to BENCH_pass_speed.json for
+ *    trajectory tracking.
+ *  - --json-only: skip the micro suite, emit only the JSON sweeps.
  *  - --smoke <baseline.json>: time formation of the largest speclike
- *    workload (cache on, best of 3) and fail if it regressed more than
- *    2x against the recorded baseline. Wired into ctest so compile-time
- *    regressions fail tier-1. Skipped in unoptimized builds.
+ *    workload (cache on, best of 3) and the 4-thread batch config, and
+ *    fail if either regressed more than 2x against the recorded
+ *    baseline. Wired into ctest so compile-time regressions fail
+ *    tier-1. Skipped in unoptimized builds.
  */
 
 #include <benchmark/benchmark.h>
@@ -30,7 +33,7 @@
 #include "analysis/liveness.h"
 #include "analysis/loops.h"
 #include "backend/scheduler.h"
-#include "hyperblock/phase_ordering.h"
+#include "pipeline/session.h"
 #include "report/block_report.h"
 #include "sim/functional_sim.h"
 #include "sim/timing_sim.h"
@@ -63,6 +66,20 @@ cloneProgram(const Program &program)
     copy.memory = program.memory;
     copy.defaultArgs = program.defaultArgs;
     return copy;
+}
+
+/**
+ * Compile @p program in place through a single-unit Session (the
+ * sequential fast path) and return that unit's result.
+ */
+FunctionResult
+compileOne(Program &program, const SessionOptions &options)
+{
+    Session session(options);
+    ProfileData profile; // frequencies already annotated on branches
+    session.addProgramRef(program, profile);
+    SessionResult result = session.compile(1);
+    return std::move(result.functions[0]);
 }
 
 void
@@ -114,11 +131,9 @@ BENCHMARK(BM_ScalarOptimize);
 void
 runFormation(Program &program)
 {
-    ProfileData profile; // frequencies already annotated on branches
-    CompileOptions options;
-    options.pipeline = Pipeline::IUPO_fused;
-    options.runBackend = false;
-    compileProgram(program, profile, options);
+    compileOne(program, SessionOptions()
+                            .withPipeline(Pipeline::IUPO_fused)
+                            .withBackend(false));
 }
 
 void
@@ -153,14 +168,12 @@ void
 BM_FullPipeline(benchmark::State &state)
 {
     const Program &p = preparedWorkload();
-    ProfileData profile;
     for (auto _ : state) {
         state.PauseTiming();
         Program copy = cloneProgram(p);
         state.ResumeTiming();
-        CompileOptions options;
-        options.pipeline = Pipeline::IUPO_fused;
-        compileProgram(copy, profile, options);
+        compileOne(copy,
+                   SessionOptions().withPipeline(Pipeline::IUPO_fused));
     }
 }
 BENCHMARK(BM_FullPipeline);
@@ -169,10 +182,8 @@ void
 BM_Scheduler(benchmark::State &state)
 {
     Program compiled = cloneProgram(preparedWorkload());
-    ProfileData profile;
-    CompileOptions options;
-    options.pipeline = Pipeline::IUPO_fused;
-    compileProgram(compiled, profile, options);
+    compileOne(compiled,
+               SessionOptions().withPipeline(Pipeline::IUPO_fused));
     for (auto _ : state) {
         auto placement = scheduleFunction(compiled.fn);
         benchmark::DoNotOptimize(placement.size());
@@ -220,45 +231,6 @@ struct FormationTiming
     int64_t merges = 0;
 };
 
-/**
- * Synthetic scaled workload: @p regions independent low-trip loops,
- * each with two branch diamonds. The speclike suite tops out around 40
- * blocks, where a full analysis rebuild is almost free; this produces
- * the several-hundred-block functions (as whole SPEC functions would)
- * where per-query rebuild cost dominates formation and the incremental
- * cache pays off.
- */
-Workload
-synthWorkload(int regions)
-{
-    std::ostringstream src;
-    src << "int data[1024];\n"
-        << "int main() {\n"
-        << "  int acc = 0;\n"
-        << "  for (int i = 0; i < 1024; i += 1) {"
-           " data[i] = (i * 37) % 251; }\n";
-    for (int k = 0; k < regions; ++k) {
-        src << "  {\n"
-            << "    int i" << k << " = 0;\n"
-            << "    while (i" << k << " < 6) {\n"
-            << "      int t = data[(i" << k << " * 17 + " << k
-            << ") & 1023];\n"
-            << "      if ((t & 1) == 1) { acc += t * 3; }"
-               " else { acc -= t + " << k << "; }\n"
-            << "      if ((t & 6) == 2) { acc += i" << k << " * 5; }\n"
-            << "      i" << k << " += 1;\n"
-            << "    }\n"
-            << "  }\n";
-    }
-    src << "  return acc;\n}\n";
-
-    Workload w;
-    w.name = "synth" + std::to_string(regions);
-    w.note = "synthetic scaled formation stress";
-    w.source = src.str();
-    return w;
-}
-
 /** Resolve registry workloads and the synthetic "synthN" names. */
 bool
 buildNamed(const std::string &name, Program *out)
@@ -267,7 +239,7 @@ buildNamed(const std::string &name, Program *out)
         int regions = std::atoi(name.c_str() + 5);
         if (regions <= 0)
             return false;
-        *out = buildWorkload(synthWorkload(regions));
+        *out = buildWorkload(synthFormationWorkload(regions));
         return true;
     }
     const Workload *w = findWorkload(name);
@@ -290,11 +262,10 @@ timeFormationUs(const Program &prepared, bool use_cache, int repeats,
     int64_t best = -1;
     for (int r = 0; r < repeats; ++r) {
         Program copy = cloneProgram(prepared);
-        ProfileData profile;
-        CompileOptions options;
-        options.pipeline = Pipeline::IUPO_fused;
-        options.runBackend = false;
-        CompileResult result = compileProgram(copy, profile, options);
+        FunctionResult result = compileOne(
+            copy, SessionOptions()
+                      .withPipeline(Pipeline::IUPO_fused)
+                      .withBackend(false));
         int64_t us = result.stats.get("usFormation");
         if (best < 0 || us < best)
             best = us;
@@ -309,7 +280,7 @@ std::vector<FormationTiming>
 sweepFormation(int repeats)
 {
     std::vector<Workload> suite = speclikeBenchmarks();
-    suite.push_back(synthWorkload(64));
+    suite.push_back(synthFormationWorkload(64));
     std::vector<FormationTiming> out;
     for (const Workload &w : suite) {
         Program prepared = buildWorkload(w);
@@ -336,9 +307,78 @@ largestWorkload(const std::vector<FormationTiming> &sweep)
     return largest;
 }
 
+// ----- parallel-session sweep -----
+
+struct ParallelTiming
+{
+    int threads = 1;
+    int64_t wallUs = 0;
+};
+
+constexpr int kBatchUnits = 8;
+constexpr const char *kBatchWorkload = "synth64";
+
+/**
+ * Wall time of compiling a batch of @p units clones of @p prepared
+ * through one Session at @p threads workers, best of @p repeats.
+ */
+int64_t
+timeBatchWallUs(const Program &prepared, int units, int threads,
+                int repeats)
+{
+    int64_t best = -1;
+    for (int r = 0; r < repeats; ++r) {
+        Session session(SessionOptions()
+                            .withPipeline(Pipeline::IUPO_fused)
+                            .withBackend(false)
+                            .withThreads(threads));
+        for (int u = 0; u < units; ++u)
+            session.addProgram(cloneProgram(prepared), ProfileData{});
+        Timer timer;
+        session.compile();
+        int64_t us = timer.elapsedMicros();
+        if (best < 0 || us < best)
+            best = us;
+    }
+    return best;
+}
+
+std::vector<ParallelTiming>
+sweepParallel(int repeats)
+{
+    Program prepared;
+    buildNamed(kBatchWorkload, &prepared);
+    prepareProgram(prepared);
+
+    std::vector<ParallelTiming> out;
+    for (int threads : {1, 2, 4, 8}) {
+        ParallelTiming t;
+        t.threads = threads;
+        t.wallUs =
+            timeBatchWallUs(prepared, kBatchUnits, threads, repeats);
+        out.push_back(t);
+    }
+
+    std::fprintf(stderr,
+                 "parallel session batch (%d x %s, formation only):\n"
+                 "%8s %12s %8s\n",
+                 kBatchUnits, kBatchWorkload, "threads", "wall us",
+                 "speedup");
+    for (const ParallelTiming &t : out) {
+        double speedup = t.wallUs > 0
+                             ? static_cast<double>(out[0].wallUs) /
+                                   static_cast<double>(t.wallUs)
+                             : 0.0;
+        std::fprintf(stderr, "%8d %12lld %7.2fx\n", t.threads,
+                     static_cast<long long>(t.wallUs), speedup);
+    }
+    return out;
+}
+
 void
 writeJson(const std::string &path,
-          const std::vector<FormationTiming> &sweep)
+          const std::vector<FormationTiming> &sweep,
+          const std::vector<ParallelTiming> &parallel)
 {
     std::ostringstream os;
     os << "{\n  \"bench\": \"pass_speed\",\n  \"unit\": \"us\",\n"
@@ -357,7 +397,20 @@ writeJson(const std::string &path,
            << ", \"speedup\": " << speedup << "}"
            << (i + 1 < sweep.size() ? "," : "") << "\n";
     }
-    os << "  ]\n}\n";
+    os << "  ],\n  \"parallel\": {\"workload\": \"" << kBatchWorkload
+       << "\", \"units\": " << kBatchUnits << ", \"runs\": [\n";
+    for (size_t i = 0; i < parallel.size(); ++i) {
+        const auto &t = parallel[i];
+        double speedup =
+            t.wallUs > 0 ? static_cast<double>(parallel[0].wallUs) /
+                               static_cast<double>(t.wallUs)
+                         : 0.0;
+        os << "    {\"threads\": " << t.threads
+           << ", \"batch_wall_us\": " << t.wallUs
+           << ", \"speedup\": " << speedup << "}"
+           << (i + 1 < parallel.size() ? "," : "") << "\n";
+    }
+    os << "  ]}\n}\n";
     std::ofstream f(path);
     f << os.str();
     std::fprintf(stderr, "wrote %s\n", path.c_str());
@@ -394,8 +447,10 @@ jsonString(const std::string &text, const std::string &key)
 
 /**
  * Smoke mode for ctest: time cached formation of the largest speclike
- * workload and compare against the recorded baseline. A >2x regression
- * fails the test.
+ * workload and the 4-thread parallel batch, and compare each against
+ * the recorded baseline. A >2x regression fails the test. The batch
+ * check is skipped when the baseline predates the batch_wall_us_4t
+ * key.
  */
 int
 runSmoke(const char *baseline_path)
@@ -442,6 +497,31 @@ runSmoke(const char *baseline_path)
                      baseline_path);
         return 1;
     }
+
+    int64_t batch_baseline_us = jsonInt(baseline, "batch_wall_us_4t");
+    if (batch_baseline_us > 0) {
+        int64_t batch_us =
+            timeBatchWallUs(prepared, kBatchUnits, 4, 3);
+        std::fprintf(
+            stderr,
+            "formation_speed_smoke: %dx %s batch at 4 threads "
+            "%lld us (baseline %lld us, limit %lld us)\n",
+            kBatchUnits, name.c_str(),
+            static_cast<long long>(batch_us),
+            static_cast<long long>(batch_baseline_us),
+            static_cast<long long>(2 * batch_baseline_us));
+        if (batch_us > 2 * batch_baseline_us) {
+            std::fprintf(stderr,
+                         "FAIL: 4-thread session batch regressed >2x "
+                         "against the recorded baseline (%s)\n",
+                         baseline_path);
+            return 1;
+        }
+    } else {
+        std::fprintf(stderr,
+                     "formation_speed_smoke: no batch_wall_us_4t in "
+                     "baseline; parallel check skipped\n");
+    }
     return 0;
 #endif
 }
@@ -469,7 +549,8 @@ main(int argc, char **argv)
     }
 
     std::vector<FormationTiming> sweep = sweepFormation(3);
-    writeJson("BENCH_pass_speed.json", sweep);
+    std::vector<ParallelTiming> parallel = sweepParallel(3);
+    writeJson("BENCH_pass_speed.json", sweep, parallel);
     if (const FormationTiming *big = largestWorkload(sweep)) {
         double speedup =
             big->cachedUs > 0

@@ -6,6 +6,10 @@
  * phase orderings UPIO, IUPO, (IUP)O, and (IUPO). All configurations
  * use the greedy breadth-first policy with incremental if-conversion,
  * as in the paper.
+ *
+ * Every (workload, ordering) pair is one unit of a chf::Session
+ * compiled with --threads=N workers; the rendered table is
+ * byte-identical at any thread count.
  */
 
 #include <cstdio>
@@ -18,8 +22,10 @@ using namespace chf;
 using namespace chf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int threads = parseThreadsFlag(argc, argv);
+
     struct Config
     {
         const char *label;
@@ -32,6 +38,42 @@ main()
         {"(IUPO)", Pipeline::IUPO_fused},
     };
 
+    // Phase A (sequential, deterministic): build and prepare every
+    // workload, record the reference simulation, and queue one session
+    // unit per (workload, ordering) pair.
+    struct Entry
+    {
+        std::string name;
+        FuncSimResult oracle;
+        size_t bbUnit = 0;
+        std::vector<size_t> units;
+    };
+    std::vector<Entry> entries;
+
+    Session session(SessionOptions().withThreads(threads));
+    for (const auto &workload : microbenchmarks()) {
+        Program base = buildWorkload(workload);
+        ProfileData profile = prepareProgram(base);
+
+        Entry entry;
+        entry.name = workload.name;
+        entry.oracle = runFunctional(base);
+        entry.bbUnit = session.addProgram(
+            cloneProgram(base), profile, workload.name + "/BB",
+            SessionOptions().withPipeline(Pipeline::BB));
+        for (const Config &config : configs) {
+            entry.units.push_back(session.addProgram(
+                cloneProgram(base), profile,
+                workload.name + "/" + config.label,
+                SessionOptions().withPipeline(config.pipeline)));
+        }
+        entries.push_back(std::move(entry));
+    }
+
+    // Phase B: compile the whole batch (possibly in parallel).
+    SessionResult compiled = session.compile();
+
+    // Phase C (sequential): simulate and render in workload order.
     TextTable table;
     table.setHeader({"benchmark", "BB cycles", "UPIO m/t/u/p", "%",
                      "IUPO m/t/u/p", "%", "(IUP)O m/t/u/p", "%",
@@ -44,27 +86,24 @@ main()
     std::printf("# table1: cycle-count improvement over BB by phase "
                 "ordering (breadth-first policy)\n");
 
-    for (const auto &workload : microbenchmarks()) {
-        Program base = buildWorkload(workload);
-        ProfileData profile = prepareProgram(base);
-
-        CompileOptions bb_options;
-        bb_options.pipeline = Pipeline::BB;
-        FuncSimResult oracle = runFunctional(base);
-        ConfigResult bb =
-            measure(base, profile, bb_options, oracle.returnValue,
-                    oracle.memoryHash);
+    for (Entry &entry : entries) {
+        ConfigResult bb = measureCompiled(
+            session.program(entry.bbUnit),
+            std::move(compiled.functions[entry.bbUnit].stats),
+            entry.oracle.returnValue, entry.oracle.memoryHash,
+            entry.name + "/BB");
 
         std::vector<std::string> row;
-        row.push_back(workload.name);
+        row.push_back(entry.name);
         row.push_back(std::to_string(bb.timing.cycles));
 
         for (size_t c = 0; c < configs.size(); ++c) {
-            CompileOptions options;
-            options.pipeline = configs[c].pipeline;
-            ConfigResult run =
-                measure(base, profile, options, oracle.returnValue,
-                        oracle.memoryHash);
+            size_t unit = entry.units[c];
+            ConfigResult run = measureCompiled(
+                session.program(unit),
+                std::move(compiled.functions[unit].stats),
+                entry.oracle.returnValue, entry.oracle.memoryHash,
+                entry.name + "/" + configs[c].label);
             double pct =
                 improvementPct(bb.timing.cycles, run.timing.cycles);
             sums[c] += pct;

@@ -4,6 +4,10 @@
  * blocks using the path-based VLIW heuristic (with and without
  * iterative optimization), the depth-first heuristic, and the
  * breadth-first heuristic, all inside convergent formation.
+ *
+ * Every (workload, heuristic) pair is one unit of a chf::Session
+ * compiled with --threads=N workers; the rendered table is
+ * byte-identical at any thread count.
  */
 
 #include <cstdio>
@@ -16,8 +20,10 @@ using namespace chf;
 using namespace chf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int threads = parseThreadsFlag(argc, argv);
+
     const std::vector<std::pair<const char *, PolicyKind>> configs = {
         {"VLIW", PolicyKind::Vliw},
         {"ConvVLIW", PolicyKind::VliwConvergent},
@@ -25,6 +31,43 @@ main()
         {"BF", PolicyKind::BreadthFirst},
     };
 
+    // Phase A (sequential): build, prepare, record oracles, queue the
+    // BB baseline and the four heuristic units per workload.
+    struct Entry
+    {
+        std::string name;
+        FuncSimResult oracle;
+        size_t bbUnit = 0;
+        std::vector<size_t> units;
+    };
+    std::vector<Entry> entries;
+
+    Session session(SessionOptions().withThreads(threads));
+    for (const auto &workload : microbenchmarks()) {
+        Program base = buildWorkload(workload);
+        ProfileData profile = prepareProgram(base);
+
+        Entry entry;
+        entry.name = workload.name;
+        entry.oracle = runFunctional(base);
+        entry.bbUnit = session.addProgram(
+            cloneProgram(base), profile, workload.name + "/BB",
+            SessionOptions().withPipeline(Pipeline::BB));
+        for (const auto &config : configs) {
+            entry.units.push_back(session.addProgram(
+                cloneProgram(base), profile,
+                workload.name + "/" + config.first,
+                SessionOptions()
+                    .withPipeline(Pipeline::IUPO_fused)
+                    .withPolicy(config.second)));
+        }
+        entries.push_back(std::move(entry));
+    }
+
+    // Phase B: compile the whole batch (possibly in parallel).
+    SessionResult compiled = session.compile();
+
+    // Phase C (sequential): simulate and render in workload order.
     TextTable table;
     table.setHeader({"benchmark", "BB cycles", "VLIW %", "ConvVLIW %",
                      "DF %", "BF %"});
@@ -37,27 +80,24 @@ main()
     std::printf("# table2: cycle-count improvement over BB by block "
                 "selection heuristic ((IUPO) pipeline)\n");
 
-    for (const auto &workload : microbenchmarks()) {
-        Program base = buildWorkload(workload);
-        ProfileData profile = prepareProgram(base);
-        FuncSimResult oracle = runFunctional(base);
-
-        CompileOptions bb_options;
-        bb_options.pipeline = Pipeline::BB;
-        ConfigResult bb = measure(base, profile, bb_options,
-                                  oracle.returnValue, oracle.memoryHash);
+    for (Entry &entry : entries) {
+        ConfigResult bb = measureCompiled(
+            session.program(entry.bbUnit),
+            std::move(compiled.functions[entry.bbUnit].stats),
+            entry.oracle.returnValue, entry.oracle.memoryHash,
+            entry.name + "/BB");
 
         std::vector<std::string> row;
-        row.push_back(workload.name);
+        row.push_back(entry.name);
         row.push_back(std::to_string(bb.timing.cycles));
 
         for (size_t c = 0; c < configs.size(); ++c) {
-            CompileOptions options;
-            options.pipeline = Pipeline::IUPO_fused;
-            options.policy = configs[c].second;
-            ConfigResult run = measure(base, profile, options,
-                                       oracle.returnValue,
-                                       oracle.memoryHash);
+            size_t unit = entry.units[c];
+            ConfigResult run = measureCompiled(
+                session.program(unit),
+                std::move(compiled.functions[unit].stats),
+                entry.oracle.returnValue, entry.oracle.memoryHash,
+                entry.name + "/" + configs[c].first);
             double pct =
                 improvementPct(bb.timing.cycles, run.timing.cycles);
             sums[c] += pct;
@@ -65,12 +105,12 @@ main()
             if (configs[c].second == PolicyKind::DepthFirst &&
                 pct < worst_df) {
                 worst_df = pct;
-                worst_df_name = workload.name;
+                worst_df_name = entry.name;
             }
             if (configs[c].second == PolicyKind::Vliw &&
                 pct < worst_vliw) {
                 worst_vliw = pct;
-                worst_vliw_name = workload.name;
+                worst_vliw_name = entry.name;
             }
         }
         table.addRow(row);

@@ -4,6 +4,10 @@
  * basic blocks for the SPEC-like suite under the functional simulator
  * (the paper uses block counts because cycle-level simulation of full
  * SPEC is too slow; §7.3 establishes the correlation).
+ *
+ * Every (workload, ordering) pair is one unit of a chf::Session
+ * compiled with --threads=N workers; the rendered table is
+ * byte-identical at any thread count.
  */
 
 #include <cstdio>
@@ -16,8 +20,10 @@ using namespace chf;
 using namespace chf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int threads = parseThreadsFlag(argc, argv);
+
     const std::vector<std::pair<const char *, Pipeline>> configs = {
         {"UPIO", Pipeline::UPIO},
         {"IUPO", Pipeline::IUPO},
@@ -25,6 +31,41 @@ main()
         {"(IUPO)", Pipeline::IUPO_fused},
     };
 
+    // Phase A (sequential): build, prepare, record oracles, queue one
+    // unit per (workload, ordering) pair plus the BB baseline.
+    struct Entry
+    {
+        std::string name;
+        FuncSimResult oracle;
+        size_t bbUnit = 0;
+        std::vector<size_t> units;
+    };
+    std::vector<Entry> entries;
+
+    Session session(SessionOptions().withThreads(threads));
+    for (const auto &workload : speclikeBenchmarks()) {
+        Program base = buildWorkload(workload);
+        ProfileData profile = prepareProgram(base);
+
+        Entry entry;
+        entry.name = workload.name;
+        entry.oracle = runFunctional(base);
+        entry.bbUnit = session.addProgram(
+            cloneProgram(base), profile, workload.name + "/BB",
+            SessionOptions().withPipeline(Pipeline::BB));
+        for (const auto &config : configs) {
+            entry.units.push_back(session.addProgram(
+                cloneProgram(base), profile,
+                workload.name + "/" + config.first,
+                SessionOptions().withPipeline(config.second)));
+        }
+        entries.push_back(std::move(entry));
+    }
+
+    // Phase B: compile the whole batch (possibly in parallel).
+    session.compile();
+
+    // Phase C (sequential): simulate and render in workload order.
     TextTable table;
     table.setHeader({"benchmark", "BB blocks", "UPIO %", "IUPO %",
                      "(IUP)O %", "(IUPO) %"});
@@ -35,30 +76,19 @@ main()
     std::printf("# table3: block-count improvement over BB on the "
                 "SPEC-like suite (functional simulator)\n");
 
-    for (const auto &workload : speclikeBenchmarks()) {
-        Program base = buildWorkload(workload);
-        ProfileData profile = prepareProgram(base);
-        FuncSimResult oracle = runFunctional(base);
-
-        Program bb_program = cloneProgram(base);
-        CompileOptions bb_options;
-        bb_options.pipeline = Pipeline::BB;
-        compileProgram(bb_program, profile, bb_options);
-        FuncSimResult bb = runFunctional(bb_program);
+    for (const Entry &entry : entries) {
+        FuncSimResult bb = runFunctional(session.program(entry.bbUnit));
 
         std::vector<std::string> row;
-        row.push_back(workload.name);
+        row.push_back(entry.name);
         row.push_back(std::to_string(bb.blocksExecuted));
 
         for (size_t c = 0; c < configs.size(); ++c) {
-            Program program = cloneProgram(base);
-            CompileOptions options;
-            options.pipeline = configs[c].second;
-            compileProgram(program, profile, options);
-            FuncSimResult run = runFunctional(program);
-            if (run.returnValue != oracle.returnValue ||
-                run.memoryHash != oracle.memoryHash) {
-                fatal(concat("semantics changed for ", workload.name,
+            FuncSimResult run =
+                runFunctional(session.program(entry.units[c]));
+            if (run.returnValue != entry.oracle.returnValue ||
+                run.memoryHash != entry.oracle.memoryHash) {
+                fatal(concat("semantics changed for ", entry.name,
                              " under ", configs[c].first));
             }
             double pct = improvementPct(bb.blocksExecuted,

@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "hyperblock/phase_ordering.h"
+#include "pipeline/session.h"
 #include "sim/functional_sim.h"
 #include "sim/timing_sim.h"
 #include "support/table.h"
@@ -79,12 +79,19 @@ main(int argc, char **argv)
         {"breadth-first", PolicyKind::BreadthFirst},
     };
 
+    // One session unit per policy, compiled as a batch.
+    Session session;
     for (const auto &[label, policy] : policies) {
-        Program program = cloneProgram(base);
-        CompileOptions options;
-        options.pipeline = Pipeline::IUPO_fused;
-        options.policy = policy;
-        compileProgram(program, profile, options);
+        session.addProgram(cloneProgram(base), profile, label,
+                           SessionOptions()
+                               .withPipeline(Pipeline::IUPO_fused)
+                               .withPolicy(policy));
+    }
+    session.compile();
+
+    for (size_t unit = 0; unit < session.size(); ++unit) {
+        const char *label = policies[unit].first;
+        const Program &program = session.program(unit);
 
         FuncSimResult run = runFunctional(program);
         TimingResult timing = runTiming(program);

@@ -8,9 +8,8 @@
 
 #include <cstdio>
 
-#include "frontend/lowering.h"
-#include "hyperblock/phase_ordering.h"
 #include "ir/printer.h"
+#include "pipeline/session.h"
 #include "sim/functional_sim.h"
 #include "sim/timing_sim.h"
 
@@ -32,7 +31,7 @@ int main() {
   return sum;
 }
 )";
-    Program program = compileTinyC(source);
+    Program program = Session::frontend(source);
 
     // 2. Front-end preparation: cleanup, profiling, for-loop unrolling.
     ProfileData profile = prepareProgram(program);
@@ -42,15 +41,18 @@ int main() {
     FuncSimResult before = runFunctional(program);
     TimingResult before_cycles = runTiming(program);
 
-    // 3. Convergent hyperblock formation, the (IUPO) pipeline.
-    CompileOptions options;
-    options.pipeline = Pipeline::IUPO_fused;
-    CompileResult result = compileProgram(program, profile, options);
+    // 3. Convergent hyperblock formation, the (IUPO) pipeline, through
+    // a single-unit compile session (batch drivers add more units and
+    // compile them in parallel with .withThreads(N)).
+    Session session(
+        SessionOptions().withPipeline(Pipeline::IUPO_fused));
+    session.addProgramRef(program, profile);
+    SessionResult result = session.compile();
 
     std::printf("== hyperblock CFG ==\n%s\n",
                 cfgToString(program.fn).c_str());
     std::printf("formation stats: %s\n\n",
-                result.stats.toString().c_str());
+                result.functions[0].stats.toString().c_str());
 
     // 4. The transformation preserved semantics and reduced both the
     // executed block count and the cycle count.

@@ -2,8 +2,9 @@
  * @file
  * A command-line TinyC compiler driver: compiles a source file through
  * the full pipeline (front end, profiling, convergent hyperblock
- * formation, backend) and executes it on both simulators. Useful for
- * experimenting with the compiler on your own kernels.
+ * formation, backend) via chf::Session and executes it on both
+ * simulators. Useful for experimenting with the compiler on your own
+ * kernels.
  *
  * Run: ./tinyc_compiler path/to/program.tc [args...]
  *      ./tinyc_compiler --dump path/to/program.tc    (print final IR)
@@ -14,6 +15,10 @@
  *                  aborting; diagnostics are printed at the end
  *   --fault=SPEC   arm the deterministic fault injector, e.g.
  *                  --fault=phase:formation,fn:0,kind:corrupt-ir
+ *   --threads=N    worker threads for the compile session (the output
+ *                  is identical at any N; this driver has one unit, so
+ *                  N mostly matters for batch drivers built on the
+ *                  same Session API)
  */
 
 #include <cstdio>
@@ -22,9 +27,8 @@
 #include <sstream>
 
 #include "backend/asm_writer.h"
-#include "frontend/lowering.h"
-#include "hyperblock/phase_ordering.h"
 #include "ir/printer.h"
+#include "pipeline/session.h"
 #include "sim/functional_sim.h"
 #include "sim/timing_sim.h"
 #include "support/fault_inject.h"
@@ -37,6 +41,7 @@ main(int argc, char **argv)
     bool dump = false;
     bool emit_asm = false;
     bool keep_going = false;
+    int threads = 1;
     int argi = 1;
     while (argi < argc && argv[argi][0] == '-') {
         if (std::strcmp(argv[argi], "--dump") == 0) {
@@ -45,6 +50,13 @@ main(int argc, char **argv)
             emit_asm = true;
         } else if (std::strcmp(argv[argi], "--keep-going") == 0) {
             keep_going = true;
+        } else if (std::strncmp(argv[argi], "--threads=", 10) == 0) {
+            threads = std::atoi(argv[argi] + 10);
+            if (threads < 1) {
+                std::fprintf(stderr,
+                             "--threads wants a positive integer\n");
+                return 1;
+            }
         } else if (std::strncmp(argv[argi], "--fault=", 8) == 0) {
             FaultSpec spec;
             std::string err;
@@ -62,7 +74,8 @@ main(int argc, char **argv)
     if (argi >= argc) {
         std::fprintf(stderr,
                      "usage: %s [--dump] [--asm] [--keep-going] "
-                     "[--fault=SPEC] program.tc [int args...]\n",
+                     "[--fault=SPEC] [--threads=N] program.tc "
+                     "[int args...]\n",
                      argv[0]);
         return 1;
     }
@@ -83,14 +96,14 @@ main(int argc, char **argv)
     Program program;
     if (keep_going) {
         std::optional<Program> compiled_fe =
-            compileTinyC(buffer.str(), diags);
+            Session::frontend(buffer.str(), diags);
         if (!compiled_fe) {
             diags.print(stderr);
             return 1;
         }
         program = std::move(*compiled_fe);
     } else {
-        program = compileTinyC(buffer.str());
+        program = Session::frontend(buffer.str());
     }
     if (!args.empty())
         program.defaultArgs = args;
@@ -100,11 +113,14 @@ main(int argc, char **argv)
     FuncSimResult baseline = runFunctional(program);
     TimingResult bb_timing = runTiming(program);
 
-    CompileOptions options;
-    options.pipeline = Pipeline::IUPO_fused;
-    options.keepGoing = keep_going;
-    options.diags = keep_going ? &diags : nullptr;
-    CompileResult compiled = compileProgram(program, profile, options);
+    Session session(SessionOptions()
+                        .withPipeline(Pipeline::IUPO_fused)
+                        .withKeepGoing(keep_going)
+                        .withThreads(threads));
+    session.addProgramRef(program, profile);
+    SessionResult result = session.compile();
+    FunctionResult &compiled = result.functions[0];
+    diags.append(result.diagnostics);
 
     if (dump)
         std::printf("%s\n", toString(program.fn).c_str());

@@ -12,9 +12,8 @@
 
 #include <cstdio>
 
-#include "frontend/lowering.h"
-#include "hyperblock/phase_ordering.h"
 #include "ir/printer.h"
+#include "pipeline/session.h"
 #include "sim/functional_sim.h"
 #include "sim/timing_sim.h"
 
@@ -67,7 +66,7 @@ int main() {
 }
 )";
 
-    Program base = compileTinyC(source);
+    Program base = Session::frontend(source);
     ProfileData profile = prepareProgram(base);
 
     std::printf("Figure 1 scenario: while loops with ~3 mean trips\n");
@@ -86,12 +85,18 @@ int main() {
         {"(IUPO) (fully convergent, Figure 1d)", Pipeline::IUPO_fused},
     };
 
+    // One session unit per pipeline, compiled as a batch.
+    Session session;
     for (const auto &[label, pipeline] : configs) {
-        Program program = cloneProgram(base);
-        CompileOptions options;
-        options.pipeline = pipeline;
-        CompileResult result =
-            compileProgram(program, profile, options);
+        session.addProgram(cloneProgram(base), profile, label,
+                           SessionOptions().withPipeline(pipeline));
+    }
+    SessionResult compiled = session.compile();
+
+    for (size_t unit = 0; unit < session.size(); ++unit) {
+        const char *label = configs[unit].first;
+        const Program &program = session.program(unit);
+        const FunctionResult &result = compiled.functions[unit];
 
         FuncSimResult run = runFunctional(program);
         TimingResult cycles = runTiming(program);

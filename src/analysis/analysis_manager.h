@@ -7,7 +7,20 @@
  * cheaply loop / predecessor / liveness queries can be re-answered
  * after each CFG mutation. The AnalysisManager keeps one snapshot of
  * each analysis alive across queries and updates it from explicit
- * mutation events instead of rebuilding from scratch:
+ * mutation events instead of rebuilding from scratch.
+ *
+ * Concurrency contract: an AnalysisManager is per-function, per-worker
+ * state. Every cached snapshot lives inside the instance, and the
+ * analysis layer keeps no mutable globals (the only statics are a pure
+ * key function and a `static const` empty map), so distinct instances
+ * over distinct Functions never share mutable state. This is what lets
+ * chf::Session compile units on worker threads without locks: each
+ * worker constructs its own manager for the function it owns
+ * (session.cpp static_asserts the type is non-copyable so a snapshot
+ * cannot leak across workers by value). Sharing one instance — or one
+ * Function — across threads is NOT supported.
+ *
+ * The invalidation machinery:
  *
  *  - PredecessorMap: patched edge-by-edge (exact, ordered like
  *    Function::predecessors()).

@@ -6,6 +6,7 @@
 #include "frontend/parser.h"
 #include "ir/builder.h"
 #include "ir/verifier.h"
+#include "pipeline/session.h"
 #include "support/diagnostics.h"
 #include "support/fatal.h"
 
@@ -653,14 +654,7 @@ Program
 compileTinyC(const std::string &source, const std::string &entry_name,
              const LoweringOptions &options)
 {
-    // API-boundary handler: tools that have not opted into diagnostic
-    // collection keep the historical fatal-and-exit(1) behavior.
-    try {
-        TranslationUnit unit = parseTinyC(source);
-        return lowerToIR(unit, entry_name, options);
-    } catch (const RecoverableError &e) {
-        fatal(e.what());
-    }
+    return Session::frontend(source, entry_name, options);
 }
 
 std::optional<Program>
@@ -668,13 +662,7 @@ compileTinyC(const std::string &source, DiagnosticEngine &diags,
              const std::string &entry_name,
              const LoweringOptions &options)
 {
-    try {
-        TranslationUnit unit = parseTinyC(source);
-        return lowerToIR(unit, entry_name, options);
-    } catch (const RecoverableError &e) {
-        diags.report(e.diagnostic());
-        return std::nullopt;
-    }
+    return Session::frontend(source, diags, entry_name, options);
 }
 
 } // namespace chf

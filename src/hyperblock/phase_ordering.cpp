@@ -246,8 +246,8 @@ discreteMergeUnrollPeel(Function &fn, const ProfileData &profile,
 } // namespace
 
 CompileResult
-compileProgram(Program &program, const ProfileData &profile,
-               const CompileOptions &options)
+detail::compileUnit(Program &program, const ProfileData &profile,
+                    const CompileOptions &options)
 {
     CompileResult result;
     Function &fn = program.fn;

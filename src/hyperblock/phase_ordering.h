@@ -89,7 +89,14 @@ struct CompileOptions
     DiagnosticEngine *diags = nullptr;
 };
 
-/** Outcome counters: the m/t/u/p statistics plus backend numbers. */
+/**
+ * Outcome counters: the m/t/u/p statistics plus backend numbers.
+ *
+ * Legacy result shape of the deprecated compileProgram() entry point.
+ * New code should use chf::Session (pipeline/session.h), whose
+ * SessionResult aggregates one FunctionResult per compilation unit
+ * instead of mixing per-program and per-function data here.
+ */
 struct CompileResult
 {
     StatSet stats;
@@ -117,7 +124,30 @@ ProfileData prepareProgram(Program &program,
                            DiagnosticEngine *diags = nullptr,
                            bool keep_going = false);
 
-/** Apply a pipeline to a prepared, profiled program in place. */
+namespace detail {
+
+/**
+ * The guarded phase pipeline for one compilation unit (formation →
+ * regalloc → fanout → schedule), exactly as compileProgram has always
+ * run it. Session workers call this once per unit; it touches nothing
+ * but @p program, @p options.diags, and the process-wide FaultInjector
+ * (which is mutex-protected), so concurrent calls on distinct programs
+ * are safe.
+ */
+CompileResult compileUnit(Program &program, const ProfileData &profile,
+                          const CompileOptions &options);
+
+} // namespace detail
+
+/**
+ * Apply a pipeline to a prepared, profiled program in place.
+ *
+ * @deprecated Use chf::Session (pipeline/session.h): construct a
+ * Session over the program and call compile(). This wrapper builds a
+ * single-unit, single-threaded Session, which takes the identical code
+ * path, and copies the merged diagnostics back into @p options.diags.
+ */
+[[deprecated("use chf::Session::compile() (see docs/api.md)")]]
 CompileResult compileProgram(Program &program, const ProfileData &profile,
                              const CompileOptions &options);
 

@@ -1,0 +1,270 @@
+#include "pipeline/session.h"
+
+#include <exception>
+#include <type_traits>
+
+#include "analysis/analysis_manager.h"
+#include "frontend/parser.h"
+#include "support/fatal.h"
+#include "support/thread_pool.h"
+#include "support/timer.h"
+
+namespace chf {
+
+namespace {
+
+/**
+ * One worker's output slot. Workers only ever touch their own slot, so
+ * the join can merge slots in unit order and produce the same bytes at
+ * any thread count.
+ */
+struct UnitSlot
+{
+    CompileResult result;
+    DiagnosticEngine diags;
+    std::exception_ptr error;
+};
+
+} // namespace
+
+// The parallel driver relies on analysis state being per-function and
+// per-worker (see analysis_manager.h "Concurrency contract"): a
+// worker's cached snapshots must not be copyable into another worker.
+static_assert(!std::is_copy_constructible_v<AnalysisManager> &&
+                  !std::is_copy_assignable_v<AnalysisManager>,
+              "AnalysisManager must stay non-copyable: Session workers "
+              "each own their analyses and share no mutable state");
+
+bool
+SessionResult::degraded() const
+{
+    return degradedCount() > 0;
+}
+
+size_t
+SessionResult::degradedCount() const
+{
+    size_t n = 0;
+    for (const FunctionResult &fr : functions)
+        n += fr.degraded() ? 1 : 0;
+    return n;
+}
+
+std::vector<std::string>
+SessionResult::failedPhases() const
+{
+    std::vector<std::string> out;
+    for (const FunctionResult &fr : functions) {
+        for (const std::string &phase : fr.failedPhases)
+            out.push_back(fr.name.empty() ? phase
+                                          : concat(fr.name, ":", phase));
+    }
+    return out;
+}
+
+size_t
+Session::addProgram(Program program, ProfileData profile, std::string name,
+                    std::optional<SessionOptions> unit_options)
+{
+    Unit unit;
+    unit.ownedProgram = std::make_unique<Program>(std::move(program));
+    unit.ownedProfile = std::make_unique<ProfileData>(std::move(profile));
+    unit.name = name.empty() ? unit.ownedProgram->fn.name()
+                             : std::move(name);
+    unit.overrides = std::move(unit_options);
+    units.push_back(std::move(unit));
+    return units.size() - 1;
+}
+
+size_t
+Session::addProgramRef(Program &program, const ProfileData &profile,
+                       std::string name,
+                       std::optional<SessionOptions> unit_options)
+{
+    Unit unit;
+    unit.externalProgram = &program;
+    unit.externalProfile = &profile;
+    unit.name = name.empty() ? program.fn.name() : std::move(name);
+    unit.overrides = std::move(unit_options);
+    units.push_back(std::move(unit));
+    return units.size() - 1;
+}
+
+size_t
+Session::addSource(const std::string &source, std::string name,
+                   const std::vector<int64_t> &profile_args)
+{
+    Program program = frontend(source);
+    if (!profile_args.empty())
+        program.defaultArgs = profile_args;
+    ProfileData profile = prepareProgram(program, profile_args);
+    return addProgram(std::move(program), std::move(profile),
+                      std::move(name));
+}
+
+Program &
+Session::program(size_t unit)
+{
+    CHF_ASSERT(unit < units.size(), "session unit index out of range");
+    return units[unit].prog();
+}
+
+const Program &
+Session::program(size_t unit) const
+{
+    CHF_ASSERT(unit < units.size(), "session unit index out of range");
+    return units[unit].prog();
+}
+
+const std::string &
+Session::unitName(size_t unit) const
+{
+    CHF_ASSERT(unit < units.size(), "session unit index out of range");
+    return units[unit].name;
+}
+
+SessionResult
+Session::compile()
+{
+    return compile(opts.threads);
+}
+
+SessionResult
+Session::compile(int threads)
+{
+    Timer wall;
+    if (opts.faultSpec)
+        FaultInjector::instance().arm(*opts.faultSpec);
+
+    const size_t n = units.size();
+    std::vector<UnitSlot> slots(n);
+
+    // The per-unit pipeline. Every mutable object in here is either
+    // unit-local (program, analyses, checkpoints, the diagnostic
+    // engine) or mutex-protected (the FaultInjector), so units can run
+    // on any thread; FaultUnitScope keys fault matching to the unit
+    // index so injection is schedule-independent too.
+    auto run_unit = [&](size_t i) {
+        UnitSlot &slot = slots[i];
+        const Unit &unit = units[i];
+        const SessionOptions &conf =
+            unit.overrides ? *unit.overrides : opts;
+
+        CompileOptions co;
+        co.pipeline = conf.pipeline;
+        co.policy = conf.policy;
+        co.constraints = conf.constraints;
+        co.runBackend = conf.runBackend;
+        co.blockSplitting = conf.blockSplitting;
+        co.verifyStages = conf.verifyStages;
+        co.keepGoing = conf.keepGoing;
+        co.diags = conf.keepGoing ? &slot.diags : nullptr;
+
+        FaultUnitScope fault_scope(static_cast<int>(i));
+        try {
+            slot.result =
+                detail::compileUnit(unit.prog(), unit.prof(), co);
+        } catch (...) {
+            slot.error = std::current_exception();
+        }
+    };
+
+    if (threads <= 1 || n <= 1) {
+        // Sequential: the exact code path compileProgram has always
+        // taken, unit after unit on the calling thread.
+        for (size_t i = 0; i < n; ++i)
+            run_unit(i);
+    } else {
+        ThreadPool pool(static_cast<size_t>(threads));
+        for (size_t i = 0; i < n; ++i)
+            pool.submit([&run_unit, i] { run_unit(i); });
+        pool.waitIdle();
+    }
+
+    // Deterministic join: everything is merged in unit order, never in
+    // completion order.
+    SessionResult out;
+    out.functions.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        UnitSlot &slot = slots[i];
+        if (slot.error)
+            std::rethrow_exception(slot.error);
+
+        FunctionResult fr;
+        fr.name = units[i].name;
+        fr.blocks = units[i].prog().fn.numBlocks();
+        fr.insts = units[i].prog().fn.totalInsts();
+        fr.stats = std::move(slot.result.stats);
+        fr.failedPhases = std::move(slot.result.failedPhases);
+
+        out.totals.merge(fr.stats);
+        out.diagnostics.append(slot.diags, static_cast<int>(i));
+        out.functions.push_back(std::move(fr));
+    }
+    out.diagnostics.sortStable();
+
+    out.totals.set("unitsCompiled", static_cast<int64_t>(n));
+    out.totals.set("unitsDegraded",
+                   static_cast<int64_t>(out.degradedCount()));
+    out.totals.set("usSessionWall", wall.elapsedMicros());
+    return out;
+}
+
+Program
+Session::frontend(const std::string &source, const std::string &entry_name,
+                  const LoweringOptions &options)
+{
+    // API-boundary handler: tools that have not opted into diagnostic
+    // collection keep the historical fatal-and-exit(1) behavior.
+    try {
+        TranslationUnit unit = parseTinyC(source);
+        return lowerToIR(unit, entry_name, options);
+    } catch (const RecoverableError &e) {
+        fatal(e.what());
+    }
+}
+
+std::optional<Program>
+Session::frontend(const std::string &source, DiagnosticEngine &diags,
+                  const std::string &entry_name,
+                  const LoweringOptions &options)
+{
+    try {
+        TranslationUnit unit = parseTinyC(source);
+        return lowerToIR(unit, entry_name, options);
+    } catch (const RecoverableError &e) {
+        diags.report(e.diagnostic());
+        return std::nullopt;
+    }
+}
+
+// Definition of the deprecated free-function entry point: a single
+// borrowed unit compiled by a single-threaded Session, i.e. exactly
+// the historical code path, with the merged diagnostics copied back
+// into the caller's engine.
+CompileResult
+compileProgram(Program &program, const ProfileData &profile,
+               const CompileOptions &options)
+{
+    SessionOptions conf = SessionOptions()
+                              .withPipeline(options.pipeline)
+                              .withPolicy(options.policy)
+                              .withConstraints(options.constraints)
+                              .withBackend(options.runBackend)
+                              .withBlockSplitting(options.blockSplitting)
+                              .withVerifyStages(options.verifyStages)
+                              .withKeepGoing(options.keepGoing &&
+                                             options.diags != nullptr);
+    Session session(conf);
+    session.addProgramRef(program, profile);
+    SessionResult merged = session.compile(1);
+
+    CompileResult out;
+    out.stats = std::move(merged.functions[0].stats);
+    out.failedPhases = std::move(merged.functions[0].failedPhases);
+    if (options.diags != nullptr)
+        options.diags->append(merged.diagnostics);
+    return out;
+}
+
+} // namespace chf

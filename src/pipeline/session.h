@@ -1,0 +1,279 @@
+/**
+ * @file
+ * chf::Session — the unified compilation façade and parallel driver.
+ *
+ * A Session owns a batch of compilation units (a prepared Program plus
+ * its ProfileData), a SessionOptions configuration, and compiles every
+ * unit through the full guarded phase pipeline (formation → regalloc →
+ * fanout → schedule). Units are independent by construction — each
+ * worker gets its own AnalysisManager, FunctionCheckpoint scratch
+ * space, and thread-local DiagnosticEngine — so compile(nThreads)
+ * distributes units over a chf::ThreadPool and still produces
+ * bit-identical output at any thread count:
+ *
+ *  - per-unit results land in per-unit slots, merged in unit order;
+ *  - per-worker diagnostics are stamped with the unit index and merged
+ *    with the stable (function, phase, location) sort;
+ *  - fault injection matches on unit index (see FaultUnitScope), so
+ *    --fault=phase:P,fn:N fires exactly once under any thread count.
+ *
+ * compile() with one thread spawns no threads at all and runs the
+ * exact sequential code path the deprecated compileProgram() free
+ * function has always taken. The ownership model and determinism
+ * contract are documented in DESIGN.md §9; the migration guide from
+ * the deprecated free functions is docs/api.md.
+ */
+
+#ifndef CHF_PIPELINE_SESSION_H
+#define CHF_PIPELINE_SESSION_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/profile.h"
+#include "frontend/lowering.h"
+#include "hyperblock/phase_ordering.h"
+#include "support/diagnostics.h"
+#include "support/fault_inject.h"
+#include "support/stats.h"
+
+namespace chf {
+
+/**
+ * Full session configuration, built fluently:
+ *
+ *   Session session(SessionOptions()
+ *                       .withPolicy(PolicyKind::BreadthFirst)
+ *                       .withKeepGoing(true)
+ *                       .withThreads(4));
+ *
+ * The pipeline/policy/constraint fields configure every unit (units
+ * may override them individually via addProgram); threads and
+ * faultSpec are session-wide.
+ */
+struct SessionOptions
+{
+    Pipeline pipeline = Pipeline::IUPO_fused;
+    PolicyKind policy = PolicyKind::BreadthFirst;
+    TripsConstraints constraints;
+
+    /** Run output normalization, register allocation, and fanout. */
+    bool runBackend = true;
+
+    /** Enable basic-block splitting during formation (paper §9). */
+    bool blockSplitting = false;
+
+    /** Verify semantics-preservation hooks (IR verifier) per stage. */
+    bool verifyStages = true;
+
+    /**
+     * Transactional mode: run each destructive phase under a
+     * checkpoint/verify guard and degrade instead of aborting.
+     * Failures are collected in SessionResult::diagnostics.
+     */
+    bool keepGoing = false;
+
+    /** Worker threads for compile(); 1 = the sequential code path. */
+    int threads = 1;
+
+    /** Armed on the process-wide FaultInjector when compile() starts. */
+    std::optional<FaultSpec> faultSpec;
+
+    SessionOptions &withPipeline(Pipeline p) { pipeline = p; return *this; }
+    SessionOptions &withPolicy(PolicyKind k) { policy = k; return *this; }
+
+    SessionOptions &
+    withConstraints(const TripsConstraints &c)
+    {
+        constraints = c;
+        return *this;
+    }
+
+    SessionOptions &withBackend(bool on) { runBackend = on; return *this; }
+
+    SessionOptions &
+    withBlockSplitting(bool on)
+    {
+        blockSplitting = on;
+        return *this;
+    }
+
+    SessionOptions &
+    withVerifyStages(bool on)
+    {
+        verifyStages = on;
+        return *this;
+    }
+
+    SessionOptions &withKeepGoing(bool on) { keepGoing = on; return *this; }
+    SessionOptions &withThreads(int n) { threads = n; return *this; }
+
+    SessionOptions &
+    withFault(const FaultSpec &spec)
+    {
+        faultSpec = spec;
+        return *this;
+    }
+};
+
+/** Per-unit outcome: what one function's compile produced. */
+struct FunctionResult
+{
+    /** Unit name (workload name, or the function name if unnamed). */
+    std::string name;
+
+    /** Final hyperblock count of the compiled function. */
+    size_t blocks = 0;
+
+    /** Final static instruction count. */
+    size_t insts = 0;
+
+    /** m/t/u/p counters, backend numbers, usXxx phase timers. */
+    StatSet stats;
+
+    /** Phases rolled back in keepGoing mode (empty on a clean run). */
+    std::vector<std::string> failedPhases;
+
+    bool degraded() const { return !failedPhases.empty(); }
+};
+
+/** Batch outcome: one FunctionResult per unit plus the merged views. */
+struct SessionResult
+{
+    /** Indexed by unit, in addProgram order. */
+    std::vector<FunctionResult> functions;
+
+    /**
+     * All per-unit counters merged in unit order, followed by the
+     * session counters (unitsCompiled, unitsDegraded, usSessionWall).
+     */
+    StatSet totals;
+
+    /**
+     * Per-worker diagnostics merged deterministically: stamped with
+     * the unit index, appended in unit order, stable-sorted by
+     * (function, phase, location) — byte-identical at any thread
+     * count.
+     */
+    DiagnosticEngine diagnostics;
+
+    /** True if any unit degraded. */
+    bool degraded() const;
+
+    /** Units that rolled back at least one phase. */
+    size_t degradedCount() const;
+
+    /** "name:phase" for every rolled-back phase, in unit order. */
+    std::vector<std::string> failedPhases() const;
+};
+
+/** The unified compilation driver. */
+class Session
+{
+  public:
+    Session() = default;
+    explicit Session(SessionOptions options) : opts(std::move(options)) {}
+
+    SessionOptions &options() { return opts; }
+    const SessionOptions &options() const { return opts; }
+
+    /**
+     * Add a unit the session owns. @p unit_options overrides the
+     * session-wide pipeline/policy/constraint configuration for this
+     * unit only (threads/faultSpec fields of an override are ignored).
+     * @return the unit index.
+     */
+    size_t addProgram(Program program, ProfileData profile,
+                      std::string name = "",
+                      std::optional<SessionOptions> unit_options = {});
+
+    /**
+     * Add a unit over caller-owned storage, compiled in place. Both
+     * references must outlive the session.
+     */
+    size_t addProgramRef(Program &program, const ProfileData &profile,
+                         std::string name = "",
+                         std::optional<SessionOptions> unit_options = {});
+
+    /**
+     * Front end + preparation in one step: parse and lower TinyC,
+     * then run prepareProgram (cleanup, profiling, for-loop
+     * unrolling) with @p profile_args. Fatal on malformed input, like
+     * Session::frontend.
+     */
+    size_t addSource(const std::string &source, std::string name = "",
+                     const std::vector<int64_t> &profile_args = {});
+
+    size_t size() const { return units.size(); }
+
+    /** The unit's program (compiled in place by compile()). */
+    Program &program(size_t unit);
+    const Program &program(size_t unit) const;
+
+    const std::string &unitName(size_t unit) const;
+
+    /** Compile every unit with options().threads workers. */
+    SessionResult compile();
+
+    /**
+     * Compile every unit with @p threads workers. One thread runs the
+     * exact sequential code path (no pool, no locks on the unit path);
+     * more threads distribute units over a ThreadPool. Output is
+     * bit-identical either way.
+     */
+    SessionResult compile(int threads);
+
+    /**
+     * Parse + lower TinyC to a runnable Program. Calls fatal()
+     * (exit 1) on malformed input. This is the façade entry the
+     * deprecated free compileTinyC delegates to.
+     */
+    static Program frontend(const std::string &source,
+                            const std::string &entry_name = "main",
+                            const LoweringOptions &options = {});
+
+    /**
+     * Parse + lower, reporting input errors to @p diags instead of
+     * exiting; std::nullopt after recording the Diagnostic.
+     */
+    static std::optional<Program>
+    frontend(const std::string &source, DiagnosticEngine &diags,
+             const std::string &entry_name = "main",
+             const LoweringOptions &options = {});
+
+  private:
+    struct Unit
+    {
+        /** Owned storage (null for addProgramRef units). */
+        std::unique_ptr<Program> ownedProgram;
+        std::unique_ptr<ProfileData> ownedProfile;
+
+        /** Caller-owned storage (null for owned units). */
+        Program *externalProgram = nullptr;
+        const ProfileData *externalProfile = nullptr;
+
+        std::string name;
+        std::optional<SessionOptions> overrides;
+
+        Program &
+        prog() const
+        {
+            return ownedProgram ? *ownedProgram : *externalProgram;
+        }
+
+        const ProfileData &
+        prof() const
+        {
+            return ownedProfile ? *ownedProfile : *externalProfile;
+        }
+    };
+
+    std::vector<Unit> units;
+    SessionOptions opts;
+};
+
+} // namespace chf
+
+#endif // CHF_PIPELINE_SESSION_H

@@ -36,9 +36,26 @@ Diagnostic::toString() const
     return os.str();
 }
 
+bool
+diagnosticOrder(const Diagnostic &a, const Diagnostic &b)
+{
+    if (a.functionIndex != b.functionIndex)
+        return a.functionIndex < b.functionIndex;
+    if (a.phase != b.phase)
+        return a.phase < b.phase;
+    if (a.loc.line != b.loc.line)
+        return a.loc.line < b.loc.line;
+    if (a.loc.column != b.loc.column)
+        return a.loc.column < b.loc.column;
+    if (a.block != b.block)
+        return a.block < b.block;
+    return a.sequence < b.sequence;
+}
+
 void
 DiagnosticEngine::report(Diagnostic diag)
 {
+    diag.sequence = static_cast<uint32_t>(diags.size());
     diags.push_back(std::move(diag));
 }
 
@@ -64,6 +81,23 @@ DiagnosticEngine::count(Severity severity) const
                       [&](const Diagnostic &d) {
                           return d.severity == severity;
                       }));
+}
+
+void
+DiagnosticEngine::append(const DiagnosticEngine &other, int function_index)
+{
+    for (const Diagnostic &d : other.diagnostics()) {
+        Diagnostic copy = d;
+        if (function_index >= 0)
+            copy.functionIndex = function_index;
+        report(std::move(copy));
+    }
+}
+
+void
+DiagnosticEngine::sortStable()
+{
+    std::stable_sort(diags.begin(), diags.end(), diagnosticOrder);
 }
 
 bool

@@ -59,6 +59,22 @@ struct Diagnostic
     /** Function being compiled (empty if not applicable). */
     std::string function;
 
+    /**
+     * Index of the compilation unit inside a Session batch (-1 outside
+     * a session). Primary merge key: diagnostics from parallel workers
+     * are ordered by function index first, so the merged stream is
+     * identical at any thread count.
+     */
+    int functionIndex = -1;
+
+    /**
+     * Emission order within one DiagnosticEngine, stamped by report().
+     * Final tie-breaker of the stable sort key, so diagnostics that
+     * compare equal on (function, phase, location) keep the order the
+     * phase emitted them in (e.g. an error before its rollback note).
+     */
+    uint32_t sequence = 0;
+
     /** Block the problem was found in (kNoBlock if not applicable). */
     BlockId block = kNoBlock;
 
@@ -89,6 +105,15 @@ struct Diagnostic
 };
 
 /**
+ * Strict weak ordering over the stable sort key
+ * (functionIndex, phase, location, block, sequence). Sorting a merged
+ * diagnostic stream with this comparator is reproducible regardless of
+ * which thread produced which diagnostic first: every component is a
+ * property of the diagnostic itself, never of scheduling.
+ */
+bool diagnosticOrder(const Diagnostic &a, const Diagnostic &b);
+
+/**
  * Collects diagnostics for one compilation. Does not terminate the
  * process; callers decide what an error count means (a driver without
  * --keep-going typically exits non-zero at the end).
@@ -112,6 +137,17 @@ class DiagnosticEngine
 
     /** True if any diagnostic's phase equals @p phase. */
     bool hasPhase(const std::string &phase) const;
+
+    /**
+     * Append @p other's diagnostics, stamping @p function_index on each
+     * (when >= 0) and re-sequencing them after the ones already here.
+     * Used by Session to fold per-worker engines together in unit
+     * order.
+     */
+    void append(const DiagnosticEngine &other, int function_index = -1);
+
+    /** Stable-sort the stream by diagnosticOrder(). */
+    void sortStable();
 
     void clear() { diags.clear(); }
 

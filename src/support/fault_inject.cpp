@@ -96,6 +96,7 @@ FaultInjector::instance()
 void
 FaultInjector::arm(const FaultSpec &new_spec)
 {
+    std::lock_guard<std::mutex> lock(mutex);
     spec = new_spec;
     isArmed = true;
     seen = 0;
@@ -106,21 +107,84 @@ FaultInjector::arm(const FaultSpec &new_spec)
 void
 FaultInjector::disarm()
 {
+    std::lock_guard<std::mutex> lock(mutex);
     isArmed = false;
     seen = 0;
     fired = 0;
     lastFiredSite.clear();
 }
 
+bool
+FaultInjector::armed() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return isArmed;
+}
+
+size_t
+FaultInjector::firedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return fired;
+}
+
+std::string
+FaultInjector::lastSite() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return lastFiredSite;
+}
+
+namespace {
+
+/** Unit index the current thread is compiling (-1 outside a session). */
+thread_local int current_fault_unit = -1;
+
+} // namespace
+
+FaultUnitScope::FaultUnitScope(int unit_index)
+    : previous(current_fault_unit)
+{
+    current_fault_unit = unit_index;
+}
+
+FaultUnitScope::~FaultUnitScope()
+{
+    current_fault_unit = previous;
+}
+
+int
+FaultUnitScope::current()
+{
+    return current_fault_unit;
+}
+
 void
 FaultInjector::hook(const char *phase, Function &fn)
 {
+    std::lock_guard<std::mutex> lock(mutex);
     if (!isArmed)
+        return;
+    // At most one firing per arm(), whatever the matching mode: the
+    // same phase name can appear both outside a session (prepare's
+    // "unroll" transaction) and inside one, and must not fire twice.
+    if (fired > 0)
         return;
     if (!spec.phase.empty() && spec.phase != phase)
         return;
-    if (seen++ != spec.occurrence)
-        return;
+
+    int unit = FaultUnitScope::current();
+    if (unit >= 0) {
+        // Session mode: fn:<n> names the unit, so the decision depends
+        // only on which unit this thread is compiling — identical at
+        // any thread count.
+        if (unit != spec.occurrence)
+            return;
+    } else {
+        // Legacy mode: n-th matching hook firing, in program order.
+        if (seen++ != spec.occurrence)
+            return;
+    }
 
     ++fired;
     lastFiredSite = concat(phase, "#", spec.occurrence);

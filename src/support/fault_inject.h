@@ -17,16 +17,25 @@
  *
  * where <name> is one of the guarded phase names (unroll, peel,
  * formation, formation-seed, fanout, regalloc, schedule, or "any"),
- * fn:<n> selects the n-th (0-based) matching hook firing — with the
- * single-function Program this indexes functions/seeds compiled in
- * order — and kind selects the fault. "occ" is accepted as an alias
- * for "fn". Fields may appear in any order; phase defaults to "any",
- * fn to 0, kind to throw.
+ * fn:<n> selects where the fault fires, and kind selects the fault.
+ * "occ" is accepted as an alias for "fn". Fields may appear in any
+ * order; phase defaults to "any", fn to 0, kind to throw.
+ *
+ * Matching is thread-safe and deterministic under parallel sessions.
+ * Inside a Session each worker publishes the index of the unit it is
+ * compiling through FaultUnitScope, and fn:<n> selects *unit index n*:
+ * the fault fires at the first hook matching the phase inside unit n,
+ * on whichever thread compiles it, and nowhere else — so a spec fires
+ * exactly once at any thread count. Outside a session (a transform
+ * driven directly, e.g. formHyperblocks in a test) the historical
+ * counter semantics apply: fn:<n> is the n-th (0-based) matching hook
+ * firing on this arm. Either way a spec fires at most once per arm().
  */
 
 #ifndef CHF_SUPPORT_FAULT_INJECT_H
 #define CHF_SUPPORT_FAULT_INJECT_H
 
+#include <mutex>
 #include <string>
 
 #include "ir/function.h"
@@ -58,7 +67,11 @@ struct FaultSpec
 bool parseFaultSpec(const std::string &text, FaultSpec *out,
                     std::string *err);
 
-/** Process-wide injector. Single-threaded, like the pipeline. */
+/**
+ * Process-wide injector. All entry points are mutex-protected so
+ * parallel session workers can share the one instance; the armed spec
+ * still fires at most once per arm() regardless of thread count.
+ */
 class FaultInjector
 {
   public:
@@ -71,13 +84,13 @@ class FaultInjector
     /** Disarm and reset counters. */
     void disarm();
 
-    bool armed() const { return isArmed; }
+    bool armed() const;
 
     /** Times a fault actually fired since the last arm(). */
-    size_t firedCount() const { return fired; }
+    size_t firedCount() const;
 
     /** "phase#occurrence" of the last fault fired ("" if none). */
-    const std::string &lastSite() const { return lastFiredSite; }
+    std::string lastSite() const;
 
     /**
      * Hook point called once per function inside each guarded phase.
@@ -88,11 +101,33 @@ class FaultInjector
   private:
     FaultInjector();
 
+    mutable std::mutex mutex;
     bool isArmed = false;
     FaultSpec spec;
     int seen = 0;
     size_t fired = 0;
     std::string lastFiredSite;
+};
+
+/**
+ * RAII: tells the fault injector which session unit the current thread
+ * is compiling, making fn:<n> matching deterministic under any thread
+ * count. Session establishes one scope around each unit's pipeline.
+ */
+class FaultUnitScope
+{
+  public:
+    explicit FaultUnitScope(int unit_index);
+    ~FaultUnitScope();
+
+    FaultUnitScope(const FaultUnitScope &) = delete;
+    FaultUnitScope &operator=(const FaultUnitScope &) = delete;
+
+    /** Unit index published by the innermost scope (-1 if none). */
+    static int current();
+
+  private:
+    int previous;
 };
 
 /** Convenience wrapper used at the hook points. */

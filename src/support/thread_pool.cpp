@@ -1,0 +1,84 @@
+#include "support/thread_pool.h"
+
+namespace chf {
+
+ThreadPool::ThreadPool(size_t n)
+{
+    if (n <= 1)
+        return; // inline mode: submit() runs tasks on the caller
+    workers.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    if (workers.empty())
+        return;
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers.empty()) {
+        task();
+        completed.fetch_add(1);
+        return;
+    }
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        queue.push_back(std::move(task));
+    }
+    wake.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    if (workers.empty())
+        return;
+    std::unique_lock<std::mutex> lock(mutex);
+    idle.wait(lock, [this] { return queue.empty() && inFlight == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            wake.wait(lock,
+                      [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+            ++inFlight;
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            --inFlight;
+            completed.fetch_add(1);
+            if (queue.empty() && inFlight == 0)
+                idle.notify_all();
+        }
+    }
+}
+
+size_t
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+} // namespace chf

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A fixed-size worker pool for batch compilation.
+ *
+ * chf::ThreadPool owns N worker threads pulling tasks from one shared
+ * queue. It is intentionally minimal: submit() enqueues a task,
+ * waitIdle() blocks until every submitted task has finished, and the
+ * destructor joins the workers. Determinism is the caller's problem by
+ * design — the pool guarantees only that each task runs exactly once
+ * on some worker; chf::Session achieves bit-identical output by giving
+ * every task its own result slot and merging slots in task-index order
+ * after waitIdle() (see DESIGN.md §9).
+ *
+ * A pool constructed with zero or one worker still spawns no threads:
+ * submit() runs the task inline on the calling thread, so a
+ * single-threaded Session takes the exact sequential code path.
+ */
+
+#ifndef CHF_SUPPORT_THREAD_POOL_H
+#define CHF_SUPPORT_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chf {
+
+/** Fixed set of workers draining one task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn @p workers threads. 0 or 1 means "inline": no threads are
+     * created and submit() executes on the calling thread.
+     */
+    explicit ThreadPool(size_t workers);
+
+    /** Joins all workers; pending tasks are still executed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task (or run it inline for a 0/1-worker pool). */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has completed. */
+    void waitIdle();
+
+    /** Number of worker threads (0 for an inline pool). */
+    size_t workerCount() const { return workers.size(); }
+
+    /** Tasks that have finished executing since construction. */
+    size_t tasksCompleted() const { return completed.load(); }
+
+    /**
+     * std::thread::hardware_concurrency with a floor of 1 (the standard
+     * allows 0 for "unknown").
+     */
+    static size_t hardwareThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mutex;
+    std::condition_variable wake;      ///< workers wait for tasks
+    std::condition_variable idle;      ///< waitIdle waits for drain
+    size_t inFlight = 0;               ///< dequeued but not finished
+    bool stopping = false;
+    std::atomic<size_t> completed{0};
+};
+
+} // namespace chf
+
+#endif // CHF_SUPPORT_THREAD_POOL_H

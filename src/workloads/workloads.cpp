@@ -1,6 +1,8 @@
 #include "workloads/workloads.h"
 
-#include "frontend/lowering.h"
+#include <sstream>
+
+#include "pipeline/session.h"
 
 namespace chf {
 
@@ -21,13 +23,44 @@ findWorkload(const std::string &name)
 Program
 buildWorkload(const Workload &workload)
 {
-    Program program = compileTinyC(workload.source);
+    Program program = Session::frontend(workload.source);
     program.defaultArgs = workload.args;
     if (workload.fill) {
         Rng rng(0x5eed0000 + std::hash<std::string>{}(workload.name));
         workload.fill(program.memory, rng);
     }
     return program;
+}
+
+Workload
+synthFormationWorkload(int regions)
+{
+    std::ostringstream src;
+    src << "int data[1024];\n"
+        << "int main() {\n"
+        << "  int acc = 0;\n"
+        << "  for (int i = 0; i < 1024; i += 1) {"
+           " data[i] = (i * 37) % 251; }\n";
+    for (int k = 0; k < regions; ++k) {
+        src << "  {\n"
+            << "    int i" << k << " = 0;\n"
+            << "    while (i" << k << " < 6) {\n"
+            << "      int t = data[(i" << k << " * 17 + " << k
+            << ") & 1023];\n"
+            << "      if ((t & 1) == 1) { acc += t * 3; }"
+               " else { acc -= t + " << k << "; }\n"
+            << "      if ((t & 6) == 2) { acc += i" << k << " * 5; }\n"
+            << "      i" << k << " += 1;\n"
+            << "    }\n"
+            << "  }\n";
+    }
+    src << "  return acc;\n}\n";
+
+    Workload w;
+    w.name = "synth" + std::to_string(regions);
+    w.note = "synthetic scaled formation stress";
+    w.source = src.str();
+    return w;
 }
 
 } // namespace chf

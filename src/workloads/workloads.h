@@ -52,6 +52,15 @@ const std::vector<Workload> &speclikeBenchmarks();
 /** Find a workload by name in both suites; nullptr if absent. */
 const Workload *findWorkload(const std::string &name);
 
+/**
+ * Synthetic scaled workload "synthN": @p regions independent low-trip
+ * loops, each with two branch diamonds. The speclike suite tops out
+ * around 40 blocks; this produces the several-hundred-block functions
+ * where analysis-cache and parallel-session effects dominate. Shared
+ * by bench/pass_speed and the session stress tests.
+ */
+Workload synthFormationWorkload(int regions);
+
 /** Compile a workload and apply its memory initialization. */
 Program buildWorkload(const Workload &workload);
 
