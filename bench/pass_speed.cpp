@@ -228,7 +228,16 @@ struct FormationTiming
     size_t insts = 0;
     int64_t cachedUs = 0;
     int64_t nocacheUs = 0;
+    int64_t notrialUs = 0; ///< analysis cache on, trial cache off
     int64_t merges = 0;
+
+    // Trial-merge breakdown of the fully-cached run.
+    int64_t trialsRun = 0;
+    int64_t trialsMemoHit = 0;
+    int64_t trialsPrescreened = 0;
+    int64_t usMergeCombine = 0;
+    int64_t usMergeOptimize = 0;
+    int64_t usMergeLegal = 0;
 };
 
 /** Resolve registry workloads and the synthetic "synthN" names. */
@@ -251,13 +260,18 @@ buildNamed(const std::string &name, Program *out)
 
 /** Formation time (the usFormation counter), best of @p repeats. */
 int64_t
-timeFormationUs(const Program &prepared, bool use_cache, int repeats,
-                int64_t *merges_out = nullptr)
+timeFormationUs(const Program &prepared, bool use_cache,
+                bool use_trial_cache, int repeats,
+                FormationTiming *fill = nullptr)
 {
     if (use_cache)
         unsetenv("CHF_DISABLE_ANALYSIS_CACHE");
     else
         setenv("CHF_DISABLE_ANALYSIS_CACHE", "1", 1);
+    if (use_trial_cache)
+        unsetenv("CHF_TRIAL_CACHE");
+    else
+        setenv("CHF_TRIAL_CACHE", "0", 1);
 
     int64_t best = -1;
     for (int r = 0; r < repeats; ++r) {
@@ -269,10 +283,19 @@ timeFormationUs(const Program &prepared, bool use_cache, int repeats,
         int64_t us = result.stats.get("usFormation");
         if (best < 0 || us < best)
             best = us;
-        if (merges_out)
-            *merges_out = result.stats.get("blocksMerged");
+        if (fill) {
+            fill->merges = result.stats.get("blocksMerged");
+            fill->trialsRun = result.stats.get("trialsRun");
+            fill->trialsMemoHit = result.stats.get("trialsMemoHit");
+            fill->trialsPrescreened =
+                result.stats.get("trialsPrescreened");
+            fill->usMergeCombine = result.stats.get("usMergeCombine");
+            fill->usMergeOptimize = result.stats.get("usMergeOptimize");
+            fill->usMergeLegal = result.stats.get("usMergeLegal");
+        }
     }
     unsetenv("CHF_DISABLE_ANALYSIS_CACHE");
+    unsetenv("CHF_TRIAL_CACHE");
     return best;
 }
 
@@ -289,8 +312,9 @@ sweepFormation(int repeats)
         t.name = w.name;
         t.blocks = prepared.fn.numBlocks();
         t.insts = prepared.fn.totalInsts();
-        t.cachedUs = timeFormationUs(prepared, true, repeats, &t.merges);
-        t.nocacheUs = timeFormationUs(prepared, false, repeats);
+        t.cachedUs = timeFormationUs(prepared, true, true, repeats, &t);
+        t.nocacheUs = timeFormationUs(prepared, false, true, repeats);
+        t.notrialUs = timeFormationUs(prepared, true, false, repeats);
         out.push_back(std::move(t));
     }
     return out;
@@ -394,7 +418,14 @@ writeJson(const std::string &path,
            << ", \"merges\": " << t.merges
            << ", \"formation_us_cached\": " << t.cachedUs
            << ", \"formation_us_nocache\": " << t.nocacheUs
-           << ", \"speedup\": " << speedup << "}"
+           << ", \"formation_us_notrialcache\": " << t.notrialUs
+           << ", \"speedup\": " << speedup
+           << ", \"trials_run\": " << t.trialsRun
+           << ", \"trials_memo_hit\": " << t.trialsMemoHit
+           << ", \"trials_prescreened\": " << t.trialsPrescreened
+           << ", \"us_merge_combine\": " << t.usMergeCombine
+           << ", \"us_merge_optimize\": " << t.usMergeOptimize
+           << ", \"us_merge_legal\": " << t.usMergeLegal << "}"
            << (i + 1 < sweep.size() ? "," : "") << "\n";
     }
     os << "  ],\n  \"parallel\": {\"workload\": \"" << kBatchWorkload
@@ -483,7 +514,7 @@ runSmoke(const char *baseline_path)
         return 1;
     }
     prepareProgram(prepared);
-    int64_t us = timeFormationUs(prepared, true, 3);
+    int64_t us = timeFormationUs(prepared, true, true, 3);
     std::fprintf(stderr,
                  "formation_speed_smoke: %s formation %lld us "
                  "(baseline %lld us, limit %lld us)\n",
@@ -496,6 +527,29 @@ runSmoke(const char *baseline_path)
                      "recorded baseline (%s)\n",
                      baseline_path);
         return 1;
+    }
+
+    // The trial-merge fast path must keep beating the cached formation
+    // wall time recorded before it existed (the pre-fast-path seed);
+    // losing that bound means the memo/pre-screen stopped paying off.
+    int64_t seed_us = jsonInt(baseline, "formation_us_seed_cached");
+    if (seed_us > 0) {
+        std::fprintf(stderr,
+                     "formation_speed_smoke: trial-cache-on %lld us vs "
+                     "pre-fast-path seed %lld us\n",
+                     static_cast<long long>(us),
+                     static_cast<long long>(seed_us));
+        if (us > seed_us) {
+            std::fprintf(stderr,
+                         "FAIL: trial-cache formation is slower than "
+                         "the pre-fast-path seed baseline (%s)\n",
+                         baseline_path);
+            return 1;
+        }
+    } else {
+        std::fprintf(stderr,
+                     "formation_speed_smoke: no formation_us_seed_cached "
+                     "in baseline; trial-cache check skipped\n");
     }
 
     int64_t batch_baseline_us = jsonInt(baseline, "batch_wall_us_4t");

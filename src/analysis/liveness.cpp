@@ -26,17 +26,28 @@ paddedUniverse(uint32_t n)
 BitVector
 blockUses(const BasicBlock &bb, uint32_t num_vregs)
 {
-    BitVector uses(num_vregs);
-    BitVector killed(num_vregs);
+    BitVector uses;
+    BitVector killed;
+    blockUsesInto(bb, num_vregs, uses, killed);
+    return uses;
+}
+
+void
+blockUsesInto(const BasicBlock &bb, uint32_t num_vregs, BitVector &uses,
+              BitVector &killed_scratch)
+{
+    uses.resize(num_vregs);
+    uses.reset();
+    killed_scratch.resize(num_vregs);
+    killed_scratch.reset();
     for (const auto &inst : bb.insts) {
         inst.forEachUse([&](Vreg v) {
-            if (!killed.test(v))
+            if (!killed_scratch.test(v))
                 uses.set(v);
         });
         if (inst.hasDest() && !inst.pred.valid())
-            killed.set(inst.dest);
+            killed_scratch.set(inst.dest);
     }
-    return uses;
 }
 
 BitVector
@@ -53,12 +64,20 @@ blockKills(const BasicBlock &bb, uint32_t num_vregs)
 BitVector
 blockDefs(const BasicBlock &bb, uint32_t num_vregs)
 {
-    BitVector defs(num_vregs);
+    BitVector defs;
+    blockDefsInto(bb, num_vregs, defs);
+    return defs;
+}
+
+void
+blockDefsInto(const BasicBlock &bb, uint32_t num_vregs, BitVector &defs)
+{
+    defs.resize(num_vregs);
+    defs.reset();
     for (const auto &inst : bb.insts) {
         if (inst.hasDest())
             defs.set(inst.dest);
     }
-    return defs;
 }
 
 Liveness::Liveness(const Function &fn)

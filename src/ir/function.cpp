@@ -89,21 +89,29 @@ Function::reversePostOrder() const
 {
     std::vector<BlockId> post;
     std::vector<uint8_t> visited(blocks.size(), 0);
-    // Iterative DFS with an explicit stack of (block, next-successor).
+    // Iterative DFS with an explicit stack of (block, next-inst-index).
+    // Branch targets are scanned out of the instruction stream in
+    // place; revisits of a duplicate target are skipped by the visited
+    // bits, so the traversal (and thus the order) matches what a
+    // deduplicated successor list would produce -- without
+    // materializing one per block. This runs once per incremental
+    // liveness update, i.e. once per committed merge, so it must not
+    // allocate per block.
     std::vector<std::pair<BlockId, size_t>> stack;
     if (entryBlock == kNoBlock)
         return post;
     stack.emplace_back(entryBlock, 0);
     visited[entryBlock] = 1;
-    // Cache successor lists so we do not recompute them per step.
-    std::vector<std::vector<BlockId>> succs(blocks.size());
     while (!stack.empty()) {
         auto &[id, next] = stack.back();
-        if (next == 0)
-            succs[id] = blocks[id]->successors();
-        if (next < succs[id].size()) {
-            BlockId s = succs[id][next++];
-            if (blocks[s] && !visited[s]) {
+        const auto &insts = blocks[id]->insts;
+        size_t i = next;
+        while (i < insts.size() && insts[i].op != Opcode::Br)
+            ++i;
+        if (i < insts.size()) {
+            BlockId s = insts[i].target;
+            next = i + 1;
+            if (s < blocks.size() && blocks[s] && !visited[s]) {
                 visited[s] = 1;
                 stack.emplace_back(s, 0);
             }

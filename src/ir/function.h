@@ -62,6 +62,16 @@ class Function
     /** Allocate a fresh virtual register. */
     Vreg newVreg() { return vregCount++; }
 
+    /**
+     * Advance the register counter by @p n without materializing any
+     * definitions. Used by the trial-merge fast path to keep vreg
+     * numbering bit-identical with the slow path when a trial that
+     * would have allocated @p n registers is skipped (memo hit or
+     * pre-screen): every later allocation must land on the same number
+     * either way.
+     */
+    void skipVregs(uint32_t n) { vregCount += n; }
+
     /** Number of virtual registers allocated so far. */
     uint32_t numVregs() const { return vregCount; }
 

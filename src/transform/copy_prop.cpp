@@ -8,21 +8,45 @@
 namespace chf {
 
 size_t
-copyPropagateBlock(BasicBlock &bb)
+copyPropagateBlock(BasicBlock &bb, CopyPropScratch *scratch)
 {
-    // Map from copy destination to its source operand, valid until
-    // either side is redefined.
-    std::map<Vreg, Operand> copies;
+    // Dense map from copy destination to its source operand, valid
+    // until either side is redefined. Epoch stamping makes the
+    // cross-call reset O(1); the active list bounds invalidation scans
+    // to destinations actually touched in this block.
+    CopyPropScratch local;
+    CopyPropScratch &t = scratch ? *scratch : local;
+    if (++t.epoch == 0) {
+        // Stamp wraparound (2^32 calls): flush everything once.
+        std::fill(t.stamp.begin(), t.stamp.end(), 0u);
+        t.epoch = 1;
+    }
+    t.active.clear();
     size_t rewritten = 0;
 
+    auto lookup = [&](Vreg v) -> const Operand * {
+        if (v < t.stamp.size() && t.stamp[v] == t.epoch)
+            return &t.value[v];
+        return nullptr;
+    };
     auto invalidate = [&](Vreg v) {
-        copies.erase(v);
-        for (auto it = copies.begin(); it != copies.end();) {
-            if (it->second.isReg() && it->second.reg == v)
-                it = copies.erase(it);
-            else
-                ++it;
+        if (v < t.stamp.size() && t.stamp[v] == t.epoch)
+            t.stamp[v] = 0;
+        for (Vreg a : t.active) {
+            if (t.stamp[a] == t.epoch && t.value[a].isReg() &&
+                t.value[a].reg == v) {
+                t.stamp[a] = 0;
+            }
         }
+    };
+    auto insert = [&](Vreg dest, const Operand &src) {
+        if (dest >= t.stamp.size()) {
+            t.stamp.resize(dest + 1, 0u);
+            t.value.resize(dest + 1);
+        }
+        t.value[dest] = src;
+        t.stamp[dest] = t.epoch;
+        t.active.push_back(dest);
     };
 
     for (auto &inst : bb.insts) {
@@ -30,18 +54,17 @@ copyPropagateBlock(BasicBlock &bb)
         for (int i = 0; i < inst.numSrcs(); ++i) {
             if (!inst.srcs[i].isReg())
                 continue;
-            auto it = copies.find(inst.srcs[i].reg);
-            if (it != copies.end()) {
-                inst.srcs[i] = it->second;
+            if (const Operand *src = lookup(inst.srcs[i].reg)) {
+                inst.srcs[i] = *src;
                 ++rewritten;
             }
         }
         // Rewrite the predicate register only when the copy source is
         // itself a register (predicates cannot hold immediates).
         if (inst.pred.valid()) {
-            auto it = copies.find(inst.pred.reg);
-            if (it != copies.end() && it->second.isReg()) {
-                inst.pred.reg = it->second.reg;
+            const Operand *src = lookup(inst.pred.reg);
+            if (src && src->isReg()) {
+                inst.pred.reg = src->reg;
                 ++rewritten;
             }
         }
@@ -50,7 +73,7 @@ copyPropagateBlock(BasicBlock &bb)
             invalidate(inst.dest);
             if (inst.op == Opcode::Mov && !inst.pred.valid() &&
                 !(inst.srcs[0].isReg() && inst.srcs[0].reg == inst.dest)) {
-                copies[inst.dest] = inst.srcs[0];
+                insert(inst.dest, inst.srcs[0]);
             }
         }
     }
@@ -67,13 +90,19 @@ copyPropagateFunction(Function &fn)
 }
 
 size_t
-coalesceMoves(BasicBlock &bb, const BitVector &live_out)
+coalesceMoves(BasicBlock &bb, const BitVector &live_out,
+              CoalesceScratch *scratch)
 {
     size_t nv = live_out.size();
 
     // Per-register def counts, use counts, and predicate-use flags.
-    std::vector<uint32_t> defs(nv, 0), uses(nv, 0);
-    std::vector<uint8_t> pred_use(nv, 0);
+    CoalesceScratch local;
+    CoalesceScratch &t = scratch ? *scratch : local;
+    std::vector<uint32_t> &defs = t.defs, &uses = t.uses;
+    std::vector<uint8_t> &pred_use = t.predUse;
+    defs.assign(nv, 0);
+    uses.assign(nv, 0);
+    pred_use.assign(nv, 0);
     auto recount = [&]() {
         std::fill(defs.begin(), defs.end(), 0);
         std::fill(uses.begin(), uses.end(), 0);

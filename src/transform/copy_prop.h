@@ -12,11 +12,35 @@
 
 namespace chf {
 
+/**
+ * Reusable copy table for copyPropagateBlock: a dense epoch-stamped
+ * map from copy destination to source operand. An entry is valid when
+ * its stamp equals the current epoch, so "clearing" the table between
+ * blocks is one integer increment instead of touching every slot; the
+ * vectors keep their capacity across trials.
+ */
+struct CopyPropScratch
+{
+    std::vector<Operand> value;   ///< source operand per destination
+    std::vector<uint32_t> stamp;  ///< valid iff stamp[v] == epoch
+    std::vector<Vreg> active;     ///< destinations touched this epoch
+    uint32_t epoch = 0;
+};
+
 /** Propagate copies within @p bb. @return number of uses rewritten. */
-size_t copyPropagateBlock(BasicBlock &bb);
+size_t copyPropagateBlock(BasicBlock &bb,
+                          CopyPropScratch *scratch = nullptr);
 
 /** Apply to every block. @return total uses rewritten. */
 size_t copyPropagateFunction(Function &fn);
+
+/** Reusable per-register count vectors for coalesceMoves. */
+struct CoalesceScratch
+{
+    std::vector<uint32_t> defs;
+    std::vector<uint32_t> uses;
+    std::vector<uint8_t> predUse;
+};
 
 /**
  * Coalesce `t = op ...; x = mov t` pairs into `x = op ...` when t is a
@@ -26,7 +50,8 @@ size_t copyPropagateFunction(Function &fn);
  * counted-loop matcher and removes most lowering chatter.
  * @return number of moves coalesced.
  */
-size_t coalesceMoves(BasicBlock &bb, const BitVector &live_out);
+size_t coalesceMoves(BasicBlock &bb, const BitVector &live_out,
+                     CoalesceScratch *scratch = nullptr);
 
 /** Apply coalesceMoves to every block. @return total coalesced. */
 size_t coalesceMovesFunction(Function &fn);

@@ -5,10 +5,15 @@
 namespace chf {
 
 size_t
-eliminateDeadCode(BasicBlock &bb, const BitVector &live_out)
+eliminateDeadCode(BasicBlock &bb, const BitVector &live_out,
+                  DceScratch *scratch)
 {
-    BitVector live = live_out;
-    std::vector<uint8_t> keep(bb.insts.size(), 1);
+    DceScratch local;
+    DceScratch &t = scratch ? *scratch : local;
+    BitVector &live = t.live;
+    live = live_out;
+    std::vector<uint8_t> &keep = t.keep;
+    keep.assign(bb.insts.size(), 1);
     size_t removed = 0;
 
     for (size_t i = bb.insts.size(); i-- > 0;) {
@@ -31,13 +36,14 @@ eliminateDeadCode(BasicBlock &bb, const BitVector &live_out)
     }
 
     if (removed > 0) {
-        std::vector<Instruction> kept;
+        std::vector<Instruction> &kept = t.kept;
+        kept.clear();
         kept.reserve(bb.insts.size() - removed);
         for (size_t i = 0; i < bb.insts.size(); ++i) {
             if (keep[i])
                 kept.push_back(bb.insts[i]);
         }
-        bb.insts = std::move(kept);
+        bb.insts.swap(kept);
     }
     return removed;
 }

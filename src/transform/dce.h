@@ -15,11 +15,20 @@
 
 namespace chf {
 
+/** Reusable working storage for eliminateDeadCode. */
+struct DceScratch
+{
+    BitVector live;
+    std::vector<uint8_t> keep;
+    std::vector<Instruction> kept;
+};
+
 /**
  * Remove dead pure instructions from @p bb given the registers live on
  * exit. @return number of instructions removed.
  */
-size_t eliminateDeadCode(BasicBlock &bb, const BitVector &live_out);
+size_t eliminateDeadCode(BasicBlock &bb, const BitVector &live_out,
+                         DceScratch *scratch = nullptr);
 
 /**
  * Whole-function DCE to a fixed point (removing a use can kill an

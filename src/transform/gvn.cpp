@@ -1,5 +1,6 @@
 #include "transform/gvn.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -39,6 +40,8 @@ struct ExprKey
 class ValueTable
 {
   public:
+    explicit ValueTable(GvnScratch &regs) : regs(regs) {}
+
     ValueNum
     fresh()
     {
@@ -48,11 +51,10 @@ class ValueTable
     ValueNum
     ofReg(Vreg v)
     {
-        auto it = regVN.find(v);
-        if (it != regVN.end())
-            return it->second;
+        if (v < regs.regStamp.size() && regs.regStamp[v] == regs.epoch)
+            return regs.regVN[v];
         ValueNum vn = fresh();
-        regVN[v] = vn;
+        setReg(v, vn);
         return vn;
     }
 
@@ -128,7 +130,12 @@ class ValueTable
     void
     setReg(Vreg v, ValueNum vn)
     {
-        regVN[v] = vn;
+        if (v >= regs.regStamp.size()) {
+            regs.regStamp.resize(v + 1, 0u);
+            regs.regVN.resize(v + 1, 0u);
+        }
+        regs.regVN[v] = vn;
+        regs.regStamp[v] = regs.epoch;
     }
 
     /** Known expression holder: (vreg, the VN it held). */
@@ -155,7 +162,7 @@ class ValueTable
 
   private:
     ValueNum next = 1;
-    std::map<Vreg, ValueNum> regVN;
+    GvnScratch &regs;
     std::map<int64_t, ValueNum> constVN;
     std::map<ValueNum, int64_t> vnConst;
     std::map<ExprKey, Holder> exprs;
@@ -295,10 +302,17 @@ simplifyAlgebraic(const Instruction &inst, ValueTable &table)
 } // namespace
 
 size_t
-valueNumberBlock(Function &fn, BasicBlock &bb)
+valueNumberBlock(Function &fn, BasicBlock &bb, GvnScratch *scratch)
 {
     (void)fn;
-    ValueTable table;
+    GvnScratch local;
+    GvnScratch &regs = scratch ? *scratch : local;
+    if (++regs.epoch == 0) {
+        // Stamp wraparound (2^32 calls): flush everything once.
+        std::fill(regs.regStamp.begin(), regs.regStamp.end(), 0u);
+        regs.epoch = 1;
+    }
+    ValueTable table(regs);
     uint64_t mem_epoch = 0;
     size_t simplified = 0;
 

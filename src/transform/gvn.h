@@ -20,16 +20,32 @@
 #ifndef CHF_TRANSFORM_GVN_H
 #define CHF_TRANSFORM_GVN_H
 
+#include <vector>
+
 #include "ir/function.h"
 
 namespace chf {
+
+/**
+ * Reusable register->value-number table for valueNumberBlock: the one
+ * per-vreg map on the pass's hot path, densified and epoch-stamped so
+ * a new block starts with an O(1) reset and the vectors keep their
+ * capacity across merge trials.
+ */
+struct GvnScratch
+{
+    std::vector<uint32_t> regVN;
+    std::vector<uint32_t> regStamp; ///< valid iff regStamp[v] == epoch
+    uint32_t epoch = 0;
+};
 
 /**
  * Value-number @p bb in place.
  * @return number of instructions simplified (folded, strength-reduced,
  *         or rewritten to moves).
  */
-size_t valueNumberBlock(Function &fn, BasicBlock &bb);
+size_t valueNumberBlock(Function &fn, BasicBlock &bb,
+                        GvnScratch *scratch = nullptr);
 
 /** Apply valueNumberBlock to every block. @return total simplified. */
 size_t valueNumberFunction(Function &fn);

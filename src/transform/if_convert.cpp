@@ -1,6 +1,6 @@
 #include "transform/if_convert.h"
 
-#include <map>
+#include <algorithm>
 
 #include "support/fatal.h"
 #include "transform/cfg_utils.h"
@@ -36,19 +36,30 @@ materializeTruth(Vreg dest, Vreg src, bool on_true)
                                Operand::makeImm(0));
 }
 
-} // namespace
-
-bool
-combineBlocks(Function &fn, BasicBlock &hb, const BasicBlock &s,
-              double freq_share)
+/** Indices of HB's branches to @p target, into @p out (capacity reuse). */
+void
+collectConsumed(const BasicBlock &hb, BlockId target,
+                std::vector<size_t> &out)
 {
-    std::vector<size_t> consumed = branchesTo(hb, s.id());
-    if (consumed.empty())
-        return false;
+    out.clear();
+    for (size_t i = 0; i < hb.insts.size(); ++i) {
+        if (hb.insts[i].op == Opcode::Br &&
+            hb.insts[i].target == target) {
+            out.push_back(i);
+        }
+    }
+}
 
-    // Classify the entry condition.
+/**
+ * Classify the entry condition of the merge. Shared by combineBlocks
+ * and combineVregCost so the register-cost prediction can never drift
+ * from the transform.
+ */
+EntryKind
+classifyEntry(const BasicBlock &hb, const BasicBlock &s,
+              const std::vector<size_t> &consumed, Predicate &direct)
+{
     EntryKind kind = EntryKind::Materialized;
-    Predicate direct;
 
     bool any_unpred = false;
     for (size_t idx : consumed) {
@@ -79,18 +90,50 @@ combineBlocks(Function &fn, BasicBlock &hb, const BasicBlock &s,
             direct = p;
         }
     }
+    return kind;
+}
+
+/** Drop cached folds whose source predicate register was redefined. */
+void
+invalidateFolds(std::vector<CombineScratch::FoldEntry> &cache, Vreg dest)
+{
+    cache.erase(std::remove_if(cache.begin(), cache.end(),
+                               [&](const CombineScratch::FoldEntry &e) {
+                                   return e.reg == dest;
+                               }),
+                cache.end());
+}
+
+} // namespace
+
+bool
+combineBlocks(Function &fn, BasicBlock &hb, const BasicBlock &s,
+              double freq_share, CombineScratch *scratch)
+{
+    CombineScratch local;
+    CombineScratch &sc = scratch ? *scratch : local;
+
+    collectConsumed(hb, s.id(), sc.consumed);
+    if (sc.consumed.empty())
+        return false;
+
+    // Classify the entry condition.
+    Predicate direct;
+    EntryKind kind = classifyEntry(hb, s, sc.consumed, direct);
 
     // Rebuild HB's instruction list: consumed branches are removed; in
     // the materialized case each is replaced in place by a snapshot of
     // its condition (the position matters: the predicate register may
     // be redefined later in program order).
-    std::vector<Vreg> snapshots;
-    std::vector<Instruction> body;
+    std::vector<Vreg> &snapshots = sc.snapshots;
+    snapshots.clear();
+    std::vector<Instruction> &body = sc.body;
+    body.clear();
     body.reserve(hb.insts.size() + s.insts.size() + 4);
     size_t consumed_cursor = 0;
     for (size_t i = 0; i < hb.insts.size(); ++i) {
-        bool is_consumed = consumed_cursor < consumed.size() &&
-                           consumed[consumed_cursor] == i;
+        bool is_consumed = consumed_cursor < sc.consumed.size() &&
+                           sc.consumed[consumed_cursor] == i;
         if (!is_consumed) {
             body.push_back(hb.insts[i]);
             continue;
@@ -141,8 +184,10 @@ combineBlocks(Function &fn, BasicBlock &hb, const BasicBlock &s,
     };
 
     // Cache of folded predicates: (reg, polarity) -> entry && pred,
-    // invalidated when the register is redefined.
-    std::map<std::pair<Vreg, bool>, Vreg> fold_cache;
+    // invalidated when the register is redefined. A small linear cache:
+    // blocks rarely carry more than a handful of live predicates.
+    std::vector<CombineScratch::FoldEntry> &fold_cache = sc.foldCache;
+    fold_cache.clear();
 
     for (const Instruction &orig : s.insts) {
         Instruction inst = orig;
@@ -161,18 +206,22 @@ combineBlocks(Function &fn, BasicBlock &hb, const BasicBlock &s,
             // Predicated instruction: AND the entry condition with the
             // instruction's own predicate in a single predicate-algebra
             // instruction (as TRIPS composes predicates in dataflow).
-            auto key = std::make_pair(inst.pred.reg, inst.pred.onTrue);
-            Vreg folded;
-            auto it = fold_cache.find(key);
-            if (it != fold_cache.end()) {
-                folded = it->second;
-            } else {
+            Vreg folded = kNoVreg;
+            for (const auto &e : fold_cache) {
+                if (e.reg == inst.pred.reg &&
+                    e.onTrue == inst.pred.onTrue) {
+                    folded = e.folded;
+                    break;
+                }
+            }
+            if (folded == kNoVreg) {
                 folded = fn.newVreg();
                 body.push_back(Instruction::binary(
                     inst.pred.onTrue ? Opcode::Band : Opcode::Bandc,
                     folded, Operand::makeReg(entry_value_reg()),
                     Operand::makeReg(inst.pred.reg)));
-                fold_cache[key] = folded;
+                fold_cache.push_back(
+                    {inst.pred.reg, inst.pred.onTrue, folded});
             }
             inst.pred = Predicate::onReg(folded, true);
         }
@@ -180,14 +229,63 @@ combineBlocks(Function &fn, BasicBlock &hb, const BasicBlock &s,
         body.push_back(inst);
 
         // Invalidate cached folds whose source was redefined.
-        if (inst.hasDest()) {
-            fold_cache.erase({inst.dest, true});
-            fold_cache.erase({inst.dest, false});
-        }
+        if (inst.hasDest())
+            invalidateFolds(fold_cache, inst.dest);
     }
 
-    hb.insts = std::move(body);
+    hb.insts.swap(body);
     return true;
+}
+
+uint32_t
+combineVregCost(const BasicBlock &hb, const BasicBlock &s)
+{
+    std::vector<size_t> consumed;
+    collectConsumed(hb, s.id(), consumed);
+    if (consumed.empty())
+        return 0;
+
+    Predicate direct;
+    EntryKind kind = classifyEntry(hb, s, consumed, direct);
+
+    uint32_t cost = 0;
+    if (kind == EntryKind::Materialized) {
+        // One truth snapshot per consumed branch, then an OR chain.
+        cost += static_cast<uint32_t>(consumed.size());
+        cost += static_cast<uint32_t>(consumed.size() - 1);
+    }
+    if (kind == EntryKind::Always)
+        return cost;
+
+    // Fold simulation: each first-seen (reg, polarity) predicate in S
+    // allocates one Band/Bandc result; the first fold may additionally
+    // materialize a negated direct predicate. Redefinitions invalidate
+    // cached folds exactly as in combineBlocks.
+    bool entry_value_ready =
+        kind == EntryKind::Materialized || direct.onTrue;
+    std::vector<std::pair<Vreg, bool>> folds;
+    for (const Instruction &inst : s.insts) {
+        if (inst.pred.valid()) {
+            auto key = std::make_pair(inst.pred.reg, inst.pred.onTrue);
+            if (std::find(folds.begin(), folds.end(), key) ==
+                folds.end()) {
+                if (!entry_value_ready) {
+                    ++cost; // Teq materializing !direct
+                    entry_value_ready = true;
+                }
+                ++cost; // the Band/Bandc fold result
+                folds.push_back(key);
+            }
+        }
+        if (inst.hasDest()) {
+            folds.erase(std::remove_if(folds.begin(), folds.end(),
+                                       [&](const auto &k) {
+                                           return k.first == inst.dest;
+                                       }),
+                        folds.end());
+        }
+    }
+    return cost;
 }
 
 } // namespace chf

@@ -28,6 +28,28 @@ namespace chf {
 bool writesReg(const BasicBlock &bb, Vreg reg);
 
 /**
+ * Reusable working storage for combineBlocks. The merge engine runs
+ * one combine per speculative trial; passing the same scratch across
+ * trials reuses the vector capacity instead of reallocating the
+ * rebuilt body (often hundreds of instructions) every time.
+ */
+struct CombineScratch
+{
+    /** One cached predicate fold: entry && (reg == polarity). */
+    struct FoldEntry
+    {
+        Vreg reg;
+        bool onTrue;
+        Vreg folded;
+    };
+
+    std::vector<size_t> consumed;
+    std::vector<Vreg> snapshots;
+    std::vector<Instruction> body;
+    std::vector<FoldEntry> foldCache;
+};
+
+/**
  * Append @p s to @p hb under the entry condition of HB -> S branches.
  *
  * @param fn          Function providing fresh vregs (hb need not be a
@@ -38,10 +60,23 @@ bool writesReg(const BasicBlock &bb, Vreg reg);
  * @param freq_share  Factor applied to the appended branch frequencies:
  *                    the share of S's profiled executions that flow
  *                    through HB.
+ * @param scratch     Optional reusable working storage; when null a
+ *                    fresh local scratch is used (identical behavior).
  * @return false if HB has no branch to S (nothing changed).
  */
 bool combineBlocks(Function &fn, BasicBlock &hb, const BasicBlock &s,
-                   double freq_share);
+                   double freq_share, CombineScratch *scratch = nullptr);
+
+/**
+ * Exact number of virtual registers combineBlocks(fn, hb, s, ...)
+ * would allocate, computed without mutating anything. The trial-merge
+ * fast path burns this many registers when it skips a trial so that
+ * every later allocation lands on the same number as on the slow path
+ * (vreg numbering is part of bit-identical output). Determined purely
+ * by the *contents* of @p hb and @p s — never by fn's counter — so a
+ * memoized value stays exact as long as the block contents hash equal.
+ */
+uint32_t combineVregCost(const BasicBlock &hb, const BasicBlock &s);
 
 } // namespace chf
 

@@ -6,8 +6,17 @@
 
 namespace chf {
 
+namespace {
+
+/**
+ * Shared writer-analysis of normalizeOutputs and predictNullWrites:
+ * invoke @p emit(reg, last_writer_pred) once per live-out register
+ * that needs a compensating null write. Keeping one walk guarantees
+ * the size estimator's prediction cannot drift from the pass.
+ */
+template <typename Fn>
 size_t
-normalizeOutputs(Function &fn, BasicBlock &bb, const BitVector &live_out)
+forEachNullWrite(const BasicBlock &bb, const BitVector &live_out, Fn emit)
 {
     // Collect, per live-out register, the predicates of its writers.
     // Registers with at least one unpredicated writer always produce a
@@ -25,9 +34,7 @@ normalizeOutputs(Function &fn, BasicBlock &bb, const BitVector &live_out)
             partial[inst.dest].push_back(inst.pred);
     }
 
-    size_t appended = 0;
-    (void)fn;
-
+    size_t compensated = 0;
     for (const auto &[reg, preds] : partial) {
         if (has_unpred_writer.count(reg))
             continue; // a write always fires
@@ -38,21 +45,39 @@ normalizeOutputs(Function &fn, BasicBlock &bb, const BitVector &live_out)
             continue;
         }
 
-        // One compensating self-move guarded on the complement of the
-        // last writer's predicate. When no writer fired, the last
-        // writer's guard is false, so the null write fires. When an
-        // earlier writer fired but the last did not, both the real
-        // write and the (identity) null write occur -- semantically a
-        // no-op, and the SSA write-merge of the real compiler [24]
-        // costs the same single instruction slot.
-        const Predicate &last = preds.back();
-        Instruction null_write = Instruction::unary(
-            Opcode::Mov, reg, Operand::makeReg(reg));
-        null_write.pred = Predicate::onReg(last.reg, !last.onTrue);
-        bb.append(null_write);
-        ++appended;
+        emit(reg, preds.back());
+        ++compensated;
     }
-    return appended;
+    return compensated;
+}
+
+} // namespace
+
+size_t
+normalizeOutputs(Function &fn, BasicBlock &bb, const BitVector &live_out)
+{
+    (void)fn;
+    // One compensating self-move guarded on the complement of the
+    // last writer's predicate. When no writer fired, the last
+    // writer's guard is false, so the null write fires. When an
+    // earlier writer fired but the last did not, both the real
+    // write and the (identity) null write occur -- semantically a
+    // no-op, and the SSA write-merge of the real compiler [24]
+    // costs the same single instruction slot.
+    return forEachNullWrite(
+        bb, live_out, [&](Vreg reg, const Predicate &last) {
+            Instruction null_write = Instruction::unary(
+                Opcode::Mov, reg, Operand::makeReg(reg));
+            null_write.pred = Predicate::onReg(last.reg, !last.onTrue);
+            bb.append(null_write);
+        });
+}
+
+size_t
+predictNullWrites(const BasicBlock &bb, const BitVector &live_out)
+{
+    return forEachNullWrite(bb, live_out,
+                            [](Vreg, const Predicate &) {});
 }
 
 size_t

@@ -27,6 +27,14 @@ namespace chf {
 size_t normalizeOutputs(Function &fn, BasicBlock &bb,
                         const BitVector &live_out);
 
+/**
+ * Exactly the number of instructions normalizeOutputs would append to
+ * @p bb, without copying the block or appending anything. The block
+ * size estimator calls this once per merge trial; it must never drift
+ * from the pass (both walk the same writer-collection logic).
+ */
+size_t predictNullWrites(const BasicBlock &bb, const BitVector &live_out);
+
 /** Normalize every block of @p fn. @return total appended. */
 size_t normalizeOutputsFunction(Function &fn);
 

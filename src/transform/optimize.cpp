@@ -9,18 +9,21 @@
 namespace chf {
 
 size_t
-optimizeBlock(Function &fn, BasicBlock &bb, const BitVector &live_out)
+optimizeBlock(Function &fn, BasicBlock &bb, const BitVector &live_out,
+              BlockOptScratch *scratch)
 {
+    BlockOptScratch local;
+    BlockOptScratch &t = scratch ? *scratch : local;
     size_t total = 0;
     // Two rounds: predicate merging exposes value-numbering hits and
     // vice versa; gains beyond two rounds are negligible.
     for (int round = 0; round < 2; ++round) {
         size_t changes = 0;
-        changes += copyPropagateBlock(bb);
-        changes += valueNumberBlock(fn, bb);
+        changes += copyPropagateBlock(bb, &t.copyProp);
+        changes += valueNumberBlock(fn, bb, &t.gvn);
         changes += optimizePredicates(bb, live_out);
-        changes += eliminateDeadCode(bb, live_out);
-        changes += coalesceMoves(bb, live_out);
+        changes += eliminateDeadCode(bb, live_out, &t.dce);
+        changes += coalesceMoves(bb, live_out, &t.coalesce);
         total += changes;
         if (changes == 0)
             break;

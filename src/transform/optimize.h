@@ -10,15 +10,33 @@
 
 #include "ir/function.h"
 #include "support/bitvector.h"
+#include "transform/copy_prop.h"
+#include "transform/dce.h"
+#include "transform/gvn.h"
 
 namespace chf {
+
+/**
+ * Bundled working storage for one optimizeBlock invocation. The merge
+ * engine keeps a single instance alive across all trials of a
+ * function, so the per-pass vectors/bitvectors amortize to zero
+ * allocations once warm.
+ */
+struct BlockOptScratch
+{
+    CopyPropScratch copyProp;
+    GvnScratch gvn;
+    DceScratch dce;
+    CoalesceScratch coalesce;
+};
 
 /**
  * Optimize a single block in place given its live-out set. Used on the
  * scratch merged block inside MergeBlocks. @return total changes.
  */
 size_t optimizeBlock(Function &fn, BasicBlock &bb,
-                     const BitVector &live_out);
+                     const BitVector &live_out,
+                     BlockOptScratch *scratch = nullptr);
 
 /**
  * Whole-function scalar optimization (the discrete "O" phase of the
