@@ -27,12 +27,14 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/dominators.h"
 #include "analysis/liveness.h"
 #include "analysis/loops.h"
 #include "backend/scheduler.h"
+#include "hyperblock/merge.h"
 #include "pipeline/session.h"
 #include "report/block_report.h"
 #include "sim/functional_sim.h"
@@ -69,16 +71,19 @@ cloneProgram(const Program &program)
 }
 
 /**
- * Compile @p program in place through a single-unit Session (the
- * sequential fast path) and return that unit's result.
+ * Compile @p program in place through a single-unit Session and return
+ * that unit's result. One thread is the sequential fast path; more
+ * threads spin up the work-stealing pool, which formation uses for
+ * speculative parallel trial rounds (DESIGN.md §11).
  */
 FunctionResult
-compileOne(Program &program, const SessionOptions &options)
+compileOne(Program &program, const SessionOptions &options,
+           int threads = 1)
 {
     Session session(options);
     ProfileData profile; // frequencies already annotated on branches
     session.addProgramRef(program, profile);
-    SessionResult result = session.compile(1);
+    SessionResult result = session.compile(threads);
     return std::move(result.functions[0]);
 }
 
@@ -228,7 +233,8 @@ struct FormationTiming
     size_t insts = 0;
     int64_t cachedUs = 0;
     int64_t nocacheUs = 0;
-    int64_t notrialUs = 0; ///< analysis cache on, trial cache off
+    int64_t notrialUs = 0;  ///< analysis cache on, trial cache off
+    int64_t parallelUs = 0; ///< cached, speculative trials on 4 threads
     int64_t merges = 0;
 
     // Trial-merge breakdown of the fully-cached run.
@@ -262,7 +268,7 @@ buildNamed(const std::string &name, Program *out)
 int64_t
 timeFormationUs(const Program &prepared, bool use_cache,
                 bool use_trial_cache, int repeats,
-                FormationTiming *fill = nullptr)
+                FormationTiming *fill = nullptr, int threads = 1)
 {
     if (use_cache)
         unsetenv("CHF_DISABLE_ANALYSIS_CACHE");
@@ -277,9 +283,11 @@ timeFormationUs(const Program &prepared, bool use_cache,
     for (int r = 0; r < repeats; ++r) {
         Program copy = cloneProgram(prepared);
         FunctionResult result = compileOne(
-            copy, SessionOptions()
-                      .withPipeline(Pipeline::IUPO_fused)
-                      .withBackend(false));
+            copy,
+            SessionOptions()
+                .withPipeline(Pipeline::IUPO_fused)
+                .withBackend(false),
+            threads);
         int64_t us = result.stats.get("usFormation");
         if (best < 0 || us < best)
             best = us;
@@ -315,6 +323,8 @@ sweepFormation(int repeats)
         t.cachedUs = timeFormationUs(prepared, true, true, repeats, &t);
         t.nocacheUs = timeFormationUs(prepared, false, true, repeats);
         t.notrialUs = timeFormationUs(prepared, true, false, repeats);
+        t.parallelUs = timeFormationUs(prepared, true, true, repeats,
+                                       nullptr, 4);
         out.push_back(std::move(t));
     }
     return out;
@@ -406,6 +416,8 @@ writeJson(const std::string &path,
 {
     std::ostringstream os;
     os << "{\n  \"bench\": \"pass_speed\",\n  \"unit\": \"us\",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
        << "  \"workloads\": [\n";
     for (size_t i = 0; i < sweep.size(); ++i) {
         const auto &t = sweep[i];
@@ -419,6 +431,7 @@ writeJson(const std::string &path,
            << ", \"formation_us_cached\": " << t.cachedUs
            << ", \"formation_us_nocache\": " << t.nocacheUs
            << ", \"formation_us_notrialcache\": " << t.notrialUs
+           << ", \"formation_us_parallel\": " << t.parallelUs
            << ", \"speedup\": " << speedup
            << ", \"trials_run\": " << t.trialsRun
            << ", \"trials_memo_hit\": " << t.trialsMemoHit
@@ -441,7 +454,14 @@ writeJson(const std::string &path,
            << ", \"speedup\": " << speedup << "}"
            << (i + 1 < parallel.size() ? "," : "") << "\n";
     }
-    os << "  ]}\n}\n";
+    const TrialMemoStats memo = trialMemoStats();
+    os << "  ]},\n  \"memo_store\": {\"hits\": " << memo.hits
+       << ", \"misses\": " << memo.misses
+       << ", \"evictions\": " << memo.evictions
+       << ", \"entries\": " << memo.entries
+       << ", \"shards\": " << memo.shards
+       << ", \"max_shard_entries\": " << memo.maxShardEntries
+       << ", \"capacity\": " << memo.capacity << "}\n}\n";
     std::ofstream f(path);
     f << os.str();
     std::fprintf(stderr, "wrote %s\n", path.c_str());
@@ -553,7 +573,18 @@ runSmoke(const char *baseline_path)
     }
 
     int64_t batch_baseline_us = jsonInt(baseline, "batch_wall_us_4t");
-    if (batch_baseline_us > 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (batch_baseline_us > 0 && hw < 4) {
+        // On fewer than 4 cores a 4-thread batch measures scheduler
+        // contention, not compiler speed; comparing it against a
+        // baseline recorded elsewhere would flag phantom regressions
+        // (or mask real ones). Skip rather than guess.
+        std::fprintf(stderr,
+                     "formation_speed_smoke: hardware_concurrency=%u "
+                     "< 4; 4-thread batch check skipped (timings on "
+                     "an oversubscribed machine are not comparable)\n",
+                     hw);
+    } else if (batch_baseline_us > 0) {
         int64_t batch_us =
             timeBatchWallUs(prepared, kBatchUnits, 4, 3);
         std::fprintf(

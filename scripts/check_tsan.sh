@@ -1,0 +1,24 @@
+#!/bin/sh
+# Race gate for the parallel subsystems: build with ThreadSanitizer
+# (CHF_SANITIZE=thread instruments the whole library — speculative
+# parallel trials run formation/analysis/transform code on pool
+# workers, see DESIGN.md §11) and run every ctest labeled "parallel":
+# the session determinism gate, the work-stealing pool stress tests,
+# and the speculative-trial differential matrix.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCHF_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)"
+
+# halt_on_error: a single race fails the gate immediately instead of
+# scrolling past in a long test log.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "$BUILD_DIR" -L parallel --output-on-failure
+echo "check_tsan: ctest -L parallel clean under ThreadSanitizer"

@@ -48,12 +48,28 @@
  * downstream output -- stays identical. CHF_TRIAL_CACHE=0 (or
  * MergeOptions::useTrialCache=false) forces the slow path for
  * differential testing.
+ *
+ * Speculative parallel trials (DESIGN.md §11). Within one mutation
+ * epoch a serial expansion is a chain of failed trials ending in a
+ * success (or exhaustion), and a trial is side-effect-free until
+ * commit, so the chain's trials can run concurrently: tryMergeRound()
+ * plans the chain on the compiling thread (each candidate's register
+ * base predicted from the prefix sum of combineVregCost), freezes the
+ * analyses (AnalysisManager::beginConcurrentReads), fans the trials
+ * out over the Session's work-stealing pool against per-thread scratch
+ * arenas, and consumes results in exact serial candidate order,
+ * committing the first success on the compiling thread. Traces, vreg
+ * numbering, and emitted IR are bit-identical to the serial path,
+ * which remains the oracle: CHF_PARALLEL_TRIALS=0 (or
+ * MergeOptions::parallelTrials=false) forces serial execution.
  */
 
 #ifndef CHF_HYPERBLOCK_MERGE_H
 #define CHF_HYPERBLOCK_MERGE_H
 
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -110,7 +126,37 @@ struct MergeOptions
 
     /** Record every tryMerge attempt in MergeEngine::trace(). */
     bool recordMergeTrace = false;
+
+    /**
+     * Speculative parallel trial formation: when the engine runs on a
+     * worker of a multi-threaded Session, candidate trials of one
+     * expansion epoch execute concurrently on the shared work-stealing
+     * pool and commit in serial order (bit-identical output; see
+     * DESIGN.md §11). Requires the trial fast path; also globally
+     * switchable off with CHF_PARALLEL_TRIALS=0 for differential runs.
+     */
+    bool parallelTrials = true;
 };
+
+/**
+ * Snapshot of the process-wide sharded failed-trial memo store
+ * (cumulative counters since process start; Session reports per-compile
+ * deltas). An eviction-heavy snapshot means the working set exceeds the
+ * capacity and trials are being re-run that could have been memo hits.
+ */
+struct TrialMemoStats
+{
+    uint64_t hits = 0;        ///< lookups answered from the store
+    uint64_t misses = 0;      ///< lookups that found nothing
+    uint64_t evictions = 0;   ///< entries dropped by shard-cap flushes
+    uint64_t entries = 0;     ///< current occupancy across all shards
+    uint64_t shards = 0;      ///< number of striped-lock shards
+    uint64_t maxShardEntries = 0; ///< most loaded shard's occupancy
+    uint64_t capacity = 0;    ///< total entry capacity across shards
+};
+
+/** Read the current trial-memo store counters (thread-safe). */
+TrialMemoStats trialMemoStats();
 
 /** Outcome of tryMerge. */
 struct MergeOutcome
@@ -151,6 +197,34 @@ class MergeEngine
     MergeOutcome tryMerge(BlockId hb, BlockId s);
 
     /**
+     * Speculative parallel form of a serial chain of tryMerge calls:
+     * @p sources is the exact order in which the serial loop would
+     * attempt candidates within the current epoch (the caller simulates
+     * the policy; Policy::select is pure, see policy.h). Trials run
+     * concurrently on the Session's work-stealing pool and are consumed
+     * in the given order — @p sink is invoked once per consumed
+     * candidate with its outcome, exactly as a serial loop of tryMerge
+     * calls would observe — stopping after the first success (later
+     * speculative results are invalidated by the commit and discarded).
+     * Returns the number of candidates consumed. Falls back to plain
+     * serial tryMerge calls when parallel trials are inactive; output
+     * is bit-identical either way.
+     */
+    size_t tryMergeRound(
+        BlockId hb, const std::vector<BlockId> &sources,
+        const std::function<void(size_t, const MergeOutcome &)> &sink);
+
+    /**
+     * How many candidates are worth speculating per round, or 0 when
+     * parallel trials are inactive (serial engine, options or
+     * CHF_PARALLEL_TRIALS=0, no surrounding pool, block splitting on —
+     * splitting mutates the CFG on *failed* trials, which breaks the
+     * trials-are-side-effect-free premise, so those engines stay
+     * serial).
+     */
+    size_t speculationWidth() const;
+
+    /**
      * Cheap pre-check mirroring the paper's LegalMerge: is @p s a
      * structurally admissible candidate (ignoring size constraints)?
      */
@@ -186,6 +260,9 @@ class MergeEngine
     /** False when CHF_TRIAL_CACHE=0 disables the fast path globally. */
     static bool trialCacheEnabledByEnv();
 
+    /** False when CHF_PARALLEL_TRIALS=0 forces serial trials. */
+    static bool parallelTrialsEnabledByEnv();
+
   private:
     /** Persistent scratch arena reused across trials (fast path); the
      *  slow path constructs a fresh instance per trial so differential
@@ -200,8 +277,77 @@ class MergeEngine
         BlockAnalysisScratch legal;
     };
 
+    /**
+     * Plan for one speculative candidate trial, computed on the
+     * compiling thread before fan-out. Captures everything about the
+     * trial that needs the engine's mutable state (classification,
+     * source resolution, the predicted register base) so the worker
+     * side is a pure function of the plan, the frozen analyses, and
+     * const reads of the function.
+     */
+    struct TrialPlan
+    {
+        BlockId hb = kNoBlock;
+        BlockId s = kNoBlock;
+        MergeKind kind = MergeKind::Simple;
+
+        /** Resolved append source (pristine body for unrolls). */
+        const BasicBlock *source = nullptr;
+
+        /** Predicted register counter at this trial's serial position:
+         *  the round's starting counter plus the combineVregCost of
+         *  every earlier candidate (failures burn exactly that). */
+        uint32_t vregBase = 0;
+
+        /** combineVregCost(hb, source) at plan time. */
+        uint32_t burn = 0;
+
+        /** Failed blocksExist/legalForKind: no trial runs, no burn. */
+        bool immediate = false;
+        std::string immediateReason;
+
+        /** Must re-run through serial tryMerge at its position (unroll
+         *  trials: pristine-body bookkeeping mutates engine state). */
+        bool serialOnly = false;
+    };
+
+    /** Worker-side result of one speculative trial. */
+    struct TrialResult
+    {
+        bool ran = false;          ///< full combine+optimize+legal
+        bool prescreened = false;
+        bool memoHit = false;
+        bool combineFailed = false; ///< "no branch to successor"
+        bool success = false;
+        std::string reason;        ///< failure reason
+        uint32_t vregsBurned = 0;  ///< replayed at consume time
+        double share = 1.0;        ///< entry share (commit needs it)
+        std::vector<Instruction> mergedInsts; ///< on success
+        int64_t usCombine = 0;
+        int64_t usOptimize = 0;
+        int64_t usLegal = 0;
+        std::exception_ptr error;  ///< rethrown at the serial position
+    };
+
     /** Existence/structure checks shared by legalMerge and tryMerge. */
     bool blocksExist(BlockId hb, BlockId s, std::string *why) const;
+
+    /** Plan one candidate of a speculative round (compiling thread). */
+    TrialPlan planTrial(BlockId hb, BlockId s, uint32_t vreg_base);
+
+    /** Run one planned trial against @p t (any thread; engine state is
+     *  read-only, results go to @p out). */
+    void runTrialSpeculative(const TrialPlan &plan,
+                             const Liveness &liveness, TrialScratch &t,
+                             TrialResult &out);
+
+    /** Replay one speculative result's serial bookkeeping — counters,
+     *  vreg burn, trace, memo semantics — and commit on success
+     *  (compiling thread, exact serial position). */
+    MergeOutcome consumeTrial(const TrialPlan &plan, TrialResult &result);
+
+    /** True when this engine may fan trials out right now. */
+    bool parallelTrialsActive() const;
 
     /** Classify what committing the merge will do. */
     MergeKind classify(BlockId hb, BlockId s);
@@ -212,10 +358,13 @@ class MergeEngine
     /** Append to the trace (when enabled) and pass @p outcome through. */
     MergeOutcome record(BlockId hb, BlockId s, MergeOutcome outcome);
 
-    /** Content hash identifying a trial (see DESIGN.md §10). */
+    /** Content hash identifying a trial (see DESIGN.md §10). Takes the
+     *  liveness explicitly so speculative workers hash against the
+     *  frozen snapshot instead of calling back into the manager. */
     uint64_t trialKey(BlockId hb, BlockId s, MergeKind kind,
                       const BasicBlock &hb_block,
-                      const BasicBlock &source);
+                      const BasicBlock &source,
+                      const Liveness &liveness) const;
 
     /** Provable lower bound on the combined block's size estimate. */
     size_t trialSizeFloor(const BasicBlock &hb_block,
@@ -231,8 +380,15 @@ class MergeEngine
     std::map<BlockId, std::unique_ptr<BasicBlock>> pristineBodies;
 
     bool fastPath = false;
+    bool parallelEnabled = false;
     uint64_t mutations = 0;
     TrialScratch arena;
+
+    /** Per-pool-worker scratch arenas for speculative trials, indexed
+     *  by WorkStealingPool::currentWorkerIndex() (one extra slot for a
+     *  helping non-worker thread). Only this engine's tasks use them,
+     *  and a thread runs one task at a time, so slots never race. */
+    std::vector<std::unique_ptr<TrialScratch>> specArenas;
 };
 
 } // namespace chf

@@ -262,6 +262,7 @@ detail::compileUnit(Program &program, const ProfileData &profile,
         options.pipeline == Pipeline::IUPO_fused &&
         options.policy != PolicyKind::Vliw;
     merge.enableBlockSplitting = options.blockSplitting;
+    merge.parallelTrials = options.parallelTrials;
 
     FormationOptions formation;
     formation.merge = merge;

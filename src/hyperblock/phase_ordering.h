@@ -71,6 +71,10 @@ struct CompileOptions
     /** Enable basic-block splitting during formation (paper §9). */
     bool blockSplitting = false;
 
+    /** Speculative parallel trial merges when compiled on a worker of
+     *  a multi-threaded Session (bit-identical; DESIGN.md §11). */
+    bool parallelTrials = true;
+
     /** Verify semantics-preservation hooks (IR verifier) per stage. */
     bool verifyStages = true;
 

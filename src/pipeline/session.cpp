@@ -5,6 +5,7 @@
 
 #include "analysis/analysis_manager.h"
 #include "frontend/parser.h"
+#include "hyperblock/merge.h"
 #include "support/fatal.h"
 #include "support/thread_pool.h"
 #include "support/timer.h"
@@ -136,6 +137,7 @@ Session::compile(int threads)
     if (opts.faultSpec)
         FaultInjector::instance().arm(*opts.faultSpec);
 
+    const TrialMemoStats memo_before = trialMemoStats();
     const size_t n = units.size();
     std::vector<UnitSlot> slots(n);
 
@@ -156,6 +158,7 @@ Session::compile(int threads)
         co.constraints = conf.constraints;
         co.runBackend = conf.runBackend;
         co.blockSplitting = conf.blockSplitting;
+        co.parallelTrials = conf.parallelTrials;
         co.verifyStages = conf.verifyStages;
         co.keepGoing = conf.keepGoing;
         co.diags = conf.keepGoing ? &slot.diags : nullptr;
@@ -169,12 +172,15 @@ Session::compile(int threads)
         }
     };
 
-    if (threads <= 1 || n <= 1) {
+    if (threads <= 1) {
         // Sequential: the exact code path compileProgram has always
         // taken, unit after unit on the calling thread.
         for (size_t i = 0; i < n; ++i)
             run_unit(i);
     } else {
+        // Even a single unit gets a pool when threads > 1: the unit's
+        // formation discovers it via WorkStealingPool::current() and
+        // runs speculative parallel trial rounds (DESIGN.md §11).
         ThreadPool pool(static_cast<size_t>(threads));
         for (size_t i = 0; i < n; ++i)
             pool.submit([&run_unit, i] { run_unit(i); });
@@ -207,6 +213,24 @@ Session::compile(int threads)
     out.totals.set("unitsDegraded",
                    static_cast<int64_t>(out.degradedCount()));
     out.totals.set("usSessionWall", wall.elapsedMicros());
+
+    // Trial-memo store activity attributable to this compile: the
+    // store is process-wide, so hits/misses/evictions are reported as
+    // deltas; entries/occupancy are point-in-time absolutes.
+    const TrialMemoStats memo_after = trialMemoStats();
+    out.totals.set("trialMemoStoreHits",
+                   static_cast<int64_t>(memo_after.hits -
+                                        memo_before.hits));
+    out.totals.set("trialMemoStoreMisses",
+                   static_cast<int64_t>(memo_after.misses -
+                                        memo_before.misses));
+    out.totals.set("trialMemoStoreEvictions",
+                   static_cast<int64_t>(memo_after.evictions -
+                                        memo_before.evictions));
+    out.totals.set("trialMemoStoreEntries",
+                   static_cast<int64_t>(memo_after.entries));
+    out.totals.set("trialMemoStoreMaxShard",
+                   static_cast<int64_t>(memo_after.maxShardEntries));
     return out;
 }
 
@@ -252,6 +276,7 @@ compileProgram(Program &program, const ProfileData &profile,
                               .withConstraints(options.constraints)
                               .withBackend(options.runBackend)
                               .withBlockSplitting(options.blockSplitting)
+                              .withParallelTrials(options.parallelTrials)
                               .withVerifyStages(options.verifyStages)
                               .withKeepGoing(options.keepGoing &&
                                              options.diags != nullptr);

@@ -65,6 +65,15 @@ struct SessionOptions
     /** Enable basic-block splitting during formation (paper §9). */
     bool blockSplitting = false;
 
+    /**
+     * Speculative parallel trial merges: units compiled on the workers
+     * of a multi-threaded session fan candidate trials out over the
+     * shared work-stealing pool (bit-identical to serial formation;
+     * DESIGN.md §11). Requires threads > 1 to have any effect; also
+     * globally switchable off with CHF_PARALLEL_TRIALS=0.
+     */
+    bool parallelTrials = true;
+
     /** Verify semantics-preservation hooks (IR verifier) per stage. */
     bool verifyStages = true;
 
@@ -104,6 +113,13 @@ struct SessionOptions
     withVerifyStages(bool on)
     {
         verifyStages = on;
+        return *this;
+    }
+
+    SessionOptions &
+    withParallelTrials(bool on)
+    {
+        parallelTrials = on;
         return *this;
     }
 

@@ -1,81 +1,257 @@
 #include "support/thread_pool.h"
 
+#include <chrono>
+
 namespace chf {
 
-ThreadPool::ThreadPool(size_t n)
+namespace {
+
+/**
+ * Worker identity, set for the lifetime of workerLoop(). current() and
+ * currentWorkerIndex() read it so code deep inside a pass (MergeEngine)
+ * can discover the pool it is running under without any plumbing.
+ */
+struct WorkerIdentity
+{
+    WorkStealingPool *pool = nullptr;
+    size_t index = 0;
+};
+
+thread_local WorkerIdentity tls_worker;
+
+} // namespace
+
+WorkStealingPool::WorkStealingPool(size_t n)
 {
     if (n <= 1)
         return; // inline mode: submit() runs tasks on the caller
-    workers.reserve(n);
+    deques.reserve(n);
     for (size_t i = 0; i < n; ++i)
-        workers.emplace_back([this] { workerLoop(); });
+        deques.push_back(std::make_unique<Deque>());
+    threads.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        threads.emplace_back([this, i] { workerLoop(i); });
 }
 
-ThreadPool::~ThreadPool()
+WorkStealingPool::~WorkStealingPool()
 {
-    if (workers.empty())
+    if (threads.empty())
         return;
     {
-        std::unique_lock<std::mutex> lock(mutex);
+        std::unique_lock<std::mutex> lock(sleepMu);
         stopping = true;
     }
     wake.notify_all();
-    for (std::thread &worker : workers)
-        worker.join();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+WorkStealingPool *
+WorkStealingPool::current()
+{
+    return tls_worker.pool;
+}
+
+size_t
+WorkStealingPool::currentWorkerIndex() const
+{
+    if (tls_worker.pool == this)
+        return tls_worker.index;
+    return workerCount();
 }
 
 void
-ThreadPool::submit(std::function<void()> task)
+WorkStealingPool::submit(std::function<void()> task)
 {
-    if (workers.empty()) {
+    if (threads.empty()) {
         task();
         completed.fetch_add(1);
         return;
     }
+    Task t;
+    t.fn = std::move(task);
+    enqueue(std::move(t));
+}
+
+void
+WorkStealingPool::enqueue(Task task)
+{
+    // A pool worker pushes to the bottom of its own deque so nested
+    // spawns run LIFO on the spawning worker unless stolen; external
+    // threads spread tasks round-robin.
+    size_t home;
+    if (tls_worker.pool == this)
+        home = tls_worker.index;
+    else
+        home = nextDeque.fetch_add(1) % deques.size();
+    task.home = home;
+
+    pending.fetch_add(1);
     {
-        std::unique_lock<std::mutex> lock(mutex);
-        queue.push_back(std::move(task));
+        std::lock_guard<std::mutex> lock(deques[home]->mu);
+        deques[home]->items.push_back(std::move(task));
+    }
+    // Every push leaves one signal; a worker consuming a signal does a
+    // full victim scan, so no task can be stranded even if a helper
+    // stole it first (the scan just comes up empty and the worker goes
+    // back to sleep).
+    {
+        std::lock_guard<std::mutex> lock(sleepMu);
+        ++signals;
     }
     wake.notify_one();
 }
 
-void
-ThreadPool::waitIdle()
+bool
+WorkStealingPool::tryRunOne(size_t self)
 {
-    if (workers.empty())
-        return;
-    std::unique_lock<std::mutex> lock(mutex);
-    idle.wait(lock, [this] { return queue.empty() && inFlight == 0; });
+    // Own deque first (bottom, LIFO), then steal oldest-first from the
+    // other deques (top, FIFO) starting after self so thieves spread
+    // out instead of mobbing deque 0.
+    const size_t n = deques.size();
+    if (self < n) {
+        Deque &own = *deques[self];
+        Task task;
+        bool got = false;
+        {
+            std::lock_guard<std::mutex> lock(own.mu);
+            if (!own.items.empty()) {
+                task = std::move(own.items.back());
+                own.items.pop_back();
+                got = true;
+            }
+        }
+        if (got) {
+            finish(task, self);
+            return true;
+        }
+    }
+    for (size_t off = 1; off <= n; ++off) {
+        size_t victim = (self + off) % n;
+        if (victim == self)
+            continue;
+        Deque &dq = *deques[victim];
+        Task task;
+        bool got = false;
+        {
+            std::lock_guard<std::mutex> lock(dq.mu);
+            if (!dq.items.empty()) {
+                task = std::move(dq.items.front());
+                dq.items.pop_front();
+                got = true;
+            }
+        }
+        if (got) {
+            finish(task, self);
+            return true;
+        }
+    }
+    return false;
 }
 
 void
-ThreadPool::workerLoop()
+WorkStealingPool::finish(Task &task, size_t ran_on)
 {
+    if (ran_on != task.home)
+        stolen.fetch_add(1);
+    task.fn();
+    const bool group_done =
+        task.group != nullptr && task.group->fetch_sub(1) == 1;
+    completed.fetch_add(1);
+    const bool pool_done = pending.fetch_sub(1) == 1;
+    if (group_done || pool_done) {
+        // Wake parked waiters. Taking the lock orders the notify after
+        // the waiter's predicate check; waiters also poll on a short
+        // timeout, so an unlucky interleaving only costs microseconds.
+        std::lock_guard<std::mutex> lock(sleepMu);
+        idle.notify_all();
+    }
+}
+
+void
+WorkStealingPool::workerLoop(size_t index)
+{
+    tls_worker.pool = this;
+    tls_worker.index = index;
     for (;;) {
-        std::function<void()> task;
-        {
-            std::unique_lock<std::mutex> lock(mutex);
-            wake.wait(lock,
-                      [this] { return stopping || !queue.empty(); });
-            if (queue.empty())
-                return; // stopping and drained
-            task = std::move(queue.front());
-            queue.pop_front();
-            ++inFlight;
+        if (tryRunOne(index))
+            continue;
+        std::unique_lock<std::mutex> lock(sleepMu);
+        wake.wait(lock, [this] { return stopping || signals > 0; });
+        if (signals > 0) {
+            --signals;
+            continue; // rescan with the signal consumed
         }
+        if (stopping)
+            break; // stopping and no unacknowledged pushes
+    }
+    // Drain: even while stopping, finish whatever is still queued so
+    // the destructor's contract ("pending tasks are still executed")
+    // holds.
+    while (tryRunOne(index)) {
+    }
+    tls_worker.pool = nullptr;
+}
+
+void
+WorkStealingPool::waitIdle()
+{
+    if (threads.empty())
+        return;
+    // Only a pool worker helps while waiting. An external thread (the
+    // Session driver, a test's main thread) must NOT run tasks: it has
+    // no worker identity, so a task it ran would see current() ==
+    // nullptr and silently lose nested parallelism — racing the
+    // workers for the very units the pool exists to parallelize. It
+    // parks instead; the timeout bounds any missed notify.
+    const bool helper = tls_worker.pool == this;
+    const size_t self = currentWorkerIndex();
+    while (pending.load() > 0) {
+        if (helper && tryRunOne(self))
+            continue;
+        std::unique_lock<std::mutex> lock(sleepMu);
+        if (pending.load() == 0)
+            break;
+        idle.wait_for(lock, std::chrono::microseconds(200));
+    }
+}
+
+void
+WorkStealingPool::TaskGroup::spawn(std::function<void()> task)
+{
+    if (pool.threads.empty()) {
         task();
-        {
-            std::unique_lock<std::mutex> lock(mutex);
-            --inFlight;
-            completed.fetch_add(1);
-            if (queue.empty() && inFlight == 0)
-                idle.notify_all();
-        }
+        pool.completed.fetch_add(1);
+        return;
+    }
+    live.fetch_add(1);
+    Task t;
+    t.fn = std::move(task);
+    t.group = &live;
+    pool.enqueue(std::move(t));
+}
+
+void
+WorkStealingPool::TaskGroup::wait()
+{
+    // A worker waiting on its group helps: it runs any pool task — not
+    // just this group's — so the rest of the batch keeps moving and
+    // nested waits cannot deadlock. An external thread parks instead
+    // (same identity argument as waitIdle).
+    const bool helper = tls_worker.pool == &pool;
+    const size_t self = pool.currentWorkerIndex();
+    while (live.load() > 0) {
+        if (helper && pool.tryRunOne(self))
+            continue;
+        std::unique_lock<std::mutex> lock(pool.sleepMu);
+        if (live.load() == 0)
+            break;
+        pool.idle.wait_for(lock, std::chrono::microseconds(200));
     }
 }
 
 size_t
-ThreadPool::hardwareThreads()
+WorkStealingPool::hardwareThreads()
 {
     unsigned n = std::thread::hardware_concurrency();
     return n == 0 ? 1 : static_cast<size_t>(n);

@@ -1,15 +1,35 @@
 /**
  * @file
- * A fixed-size worker pool for batch compilation.
+ * A fixed-size work-stealing pool for batch compilation and
+ * intra-function trial parallelism.
  *
- * chf::ThreadPool owns N worker threads pulling tasks from one shared
- * queue. It is intentionally minimal: submit() enqueues a task,
- * waitIdle() blocks until every submitted task has finished, and the
- * destructor joins the workers. Determinism is the caller's problem by
- * design — the pool guarantees only that each task runs exactly once
- * on some worker; chf::Session achieves bit-identical output by giving
- * every task its own result slot and merging slots in task-index order
- * after waitIdle() (see DESIGN.md §9).
+ * chf::WorkStealingPool owns N worker threads, each with its own deque.
+ * A worker pushes and pops tasks at the *bottom* of its own deque (LIFO,
+ * cache-friendly for nested spawns) while idle workers steal from the
+ * *top* of a victim's deque (FIFO, oldest-first) — the classic Chase-Lev
+ * discipline. The deques here are guarded by per-deque mutexes rather
+ * than the lock-free Chase-Lev protocol: the critical sections are a
+ * handful of pointer moves, contention at our task granularity (trial
+ * merges are tens of microseconds) is negligible, and the locked form is
+ * trivially auditable under ThreadSanitizer, which gates this subsystem
+ * (scripts/check_tsan.sh).
+ *
+ * Two layers share one pool (see DESIGN.md §11):
+ *  - chf::Session submits one task per compilation unit (external
+ *    submit, round-robined across deques), and
+ *  - a unit's MergeEngine, running *on* a pool worker, spawns trial
+ *    tasks into a TaskGroup. Nested submission goes to the worker's own
+ *    deque; TaskGroup::wait() *helps* — it steals and runs pool tasks
+ *    (any task, not just the group's) while waiting — so a worker
+ *    blocked on its trials keeps draining the pool and nested waits can
+ *    never deadlock.
+ *
+ * Determinism is the caller's problem by design — the pool guarantees
+ * only that each task runs exactly once on some thread; chf::Session
+ * achieves bit-identical output by giving every task its own result
+ * slot and merging slots in task-index order after waitIdle() (see
+ * DESIGN.md §9), and MergeEngine consumes speculative trial results in
+ * serial candidate order (DESIGN.md §11).
  *
  * A pool constructed with zero or one worker still spawns no threads:
  * submit() runs the task inline on the calling thread, so a
@@ -24,39 +44,74 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace chf {
 
-/** Fixed set of workers draining one task queue. */
-class ThreadPool
+/** Per-thread deques with bottom push/pop and top steal. */
+class WorkStealingPool
 {
   public:
+    class TaskGroup;
+
     /**
      * Spawn @p workers threads. 0 or 1 means "inline": no threads are
      * created and submit() executes on the calling thread.
      */
-    explicit ThreadPool(size_t workers);
+    explicit WorkStealingPool(size_t workers);
 
     /** Joins all workers; pending tasks are still executed first. */
-    ~ThreadPool();
+    ~WorkStealingPool();
 
-    ThreadPool(const ThreadPool &) = delete;
-    ThreadPool &operator=(const ThreadPool &) = delete;
+    WorkStealingPool(const WorkStealingPool &) = delete;
+    WorkStealingPool &operator=(const WorkStealingPool &) = delete;
 
-    /** Enqueue @p task (or run it inline for a 0/1-worker pool). */
+    /**
+     * Enqueue @p task (or run it inline for a 0/1-worker pool). Called
+     * from a pool worker, the task goes to that worker's own deque
+     * (nested submission); called from outside, deques are fed
+     * round-robin.
+     */
     void submit(std::function<void()> task);
 
-    /** Block until every submitted task has completed. */
+    /**
+     * Block until every submitted task has completed. Called from a
+     * pool worker, the calling thread helps (steals and runs queued
+     * tasks); called from an external thread it parks — an external
+     * thread has no worker identity, so running tasks on it would
+     * silently disable the nested parallelism those tasks discover
+     * through current().
+     */
     void waitIdle();
 
     /** Number of worker threads (0 for an inline pool). */
-    size_t workerCount() const { return workers.size(); }
+    size_t workerCount() const { return threads.size(); }
 
     /** Tasks that have finished executing since construction. */
     size_t tasksCompleted() const { return completed.load(); }
+
+    /** Tasks that ran on a thread other than the enqueuing worker. */
+    size_t tasksStolen() const { return stolen.load(); }
+
+    /**
+     * The pool whose worker is executing the current thread, or
+     * nullptr on any thread that is not a pool worker. This is how
+     * MergeEngine discovers — without plumbing a pool handle through
+     * every pass signature — that it is running inside a parallel
+     * Session and may fan trial merges out (DESIGN.md §11).
+     */
+    static WorkStealingPool *current();
+
+    /**
+     * Index of the current pool worker in [0, workerCount()), or
+     * workerCount() for any non-worker thread (callers use the index
+     * to pick a per-thread scratch arena; the extra slot serves an
+     * external caller running the inline single-threaded path).
+     */
+    size_t currentWorkerIndex() const;
 
     /**
      * std::thread::hardware_concurrency with a floor of 1 (the standard
@@ -64,18 +119,79 @@ class ThreadPool
      */
     static size_t hardwareThreads();
 
-  private:
-    void workerLoop();
+    /**
+     * A batch of tasks whose completion can be awaited independently of
+     * the rest of the pool. spawn() enqueues into the shared pool;
+     * wait() blocks until every spawned task finished — a pool worker
+     * waiting helps by executing other pool tasks in the meantime,
+     * an external thread parks. Safe to use from inside a pool task —
+     * this is the nested-submission path trial parallelism relies on.
+     */
+    class TaskGroup
+    {
+      public:
+        explicit TaskGroup(WorkStealingPool &p) : pool(p) {}
+        ~TaskGroup() { wait(); }
 
-    std::vector<std::thread> workers;
-    std::deque<std::function<void()>> queue;
-    std::mutex mutex;
-    std::condition_variable wake;      ///< workers wait for tasks
-    std::condition_variable idle;      ///< waitIdle waits for drain
-    size_t inFlight = 0;               ///< dequeued but not finished
+        TaskGroup(const TaskGroup &) = delete;
+        TaskGroup &operator=(const TaskGroup &) = delete;
+
+        /** Enqueue @p task as part of this group. */
+        void spawn(std::function<void()> task);
+
+        /** Block until every spawned task completed (helping). */
+        void wait();
+
+      private:
+        WorkStealingPool &pool;
+        std::atomic<size_t> live{0};
+    };
+
+  private:
+    struct Task
+    {
+        std::function<void()> fn;
+        std::atomic<size_t> *group = nullptr; ///< TaskGroup::live
+        size_t home = 0;                      ///< deque it was pushed to
+    };
+
+    /**
+     * One worker's deque. `items` is owned at the back (push/pop by the
+     * owner) and stolen from the front. The mutex is per-deque so a
+     * steal only contends with its victim, never with the whole pool.
+     */
+    struct Deque
+    {
+        std::mutex mu;
+        std::deque<Task> items;
+    };
+
+    void workerLoop(size_t index);
+    void enqueue(Task task);
+    bool tryRunOne(size_t self);
+    void finish(Task &task, size_t ran_on);
+
+    std::vector<std::thread> threads;
+    std::vector<std::unique_ptr<Deque>> deques;
+    std::mutex sleepMu;            ///< guards signals/stopping + condvars
+    std::condition_variable wake;  ///< workers wait for push signals
+    std::condition_variable idle;  ///< waitIdle/TaskGroup::wait backoff
+    size_t signals = 0;            ///< pushes not yet acknowledged
     bool stopping = false;
+    std::atomic<size_t> pending{0}; ///< submitted but not finished
     std::atomic<size_t> completed{0};
+    std::atomic<size_t> stolen{0};
+    std::atomic<size_t> nextDeque{0}; ///< round-robin for external submit
+
+    friend class TaskGroup;
 };
+
+/**
+ * Historical name. The original chf::ThreadPool (one shared queue,
+ * mutex + condvar) was replaced by the work-stealing pool; the alias
+ * keeps the Session-facing spelling stable.
+ */
+using ThreadPool = WorkStealingPool;
 
 } // namespace chf
 

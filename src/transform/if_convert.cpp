@@ -110,6 +110,19 @@ bool
 combineBlocks(Function &fn, BasicBlock &hb, const BasicBlock &s,
               double freq_share, CombineScratch *scratch)
 {
+    // Delegate to the cursor form: Function::newVreg returns
+    // vregCount++ too, so seeding at numVregs() and skipping the
+    // consumed count afterwards produces identical numbering.
+    VregCursor vregs{fn.numVregs()};
+    bool merged = combineBlocksAt(vregs, hb, s, freq_share, scratch);
+    fn.skipVregs(vregs.next - fn.numVregs());
+    return merged;
+}
+
+bool
+combineBlocksAt(VregCursor &vregs, BasicBlock &hb, const BasicBlock &s,
+                double freq_share, CombineScratch *scratch)
+{
     CombineScratch local;
     CombineScratch &sc = scratch ? *scratch : local;
 
@@ -141,7 +154,7 @@ combineBlocks(Function &fn, BasicBlock &hb, const BasicBlock &s,
         ++consumed_cursor;
         if (kind == EntryKind::Materialized) {
             const Predicate &p = hb.insts[i].pred;
-            Vreg snap = fn.newVreg();
+            Vreg snap = vregs.take();
             body.push_back(materializeTruth(snap, p.reg, p.onTrue));
             snapshots.push_back(snap);
         }
@@ -153,7 +166,7 @@ combineBlocks(Function &fn, BasicBlock &hb, const BasicBlock &s,
     if (kind == EntryKind::Materialized) {
         entry_reg = snapshots[0];
         for (size_t i = 1; i < snapshots.size(); ++i) {
-            Vreg combined = fn.newVreg();
+            Vreg combined = vregs.take();
             body.push_back(Instruction::binary(
                 Opcode::Or, combined, Operand::makeReg(entry_reg),
                 Operand::makeReg(snapshots[i])));
@@ -176,7 +189,7 @@ combineBlocks(Function &fn, BasicBlock &hb, const BasicBlock &s,
         if (direct.onTrue) {
             entry_value = direct.reg;
         } else {
-            entry_value = fn.newVreg();
+            entry_value = vregs.take();
             body.push_back(
                 materializeTruth(entry_value, direct.reg, false));
         }
@@ -215,7 +228,7 @@ combineBlocks(Function &fn, BasicBlock &hb, const BasicBlock &s,
                 }
             }
             if (folded == kNoVreg) {
-                folded = fn.newVreg();
+                folded = vregs.take();
                 body.push_back(Instruction::binary(
                     inst.pred.onTrue ? Opcode::Band : Opcode::Bandc,
                     folded, Operand::makeReg(entry_value_reg()),

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Differential tests for speculative parallel trial formation
+ * (DESIGN.md §11): with CHF_PARALLEL_TRIALS on, formation running on a
+ * multi-worker pool must make exactly the same merge decisions — same
+ * trace, same vreg numbering, same IR, same diagnostics, same asm — as
+ * the serial loop it speculates ahead of. The serial path is the
+ * oracle; any divergence is a bug in the commit protocol, never an
+ * acceptable "parallel answer".
+ *
+ * Two layers are pinned:
+ *  - engine-level: expandBlock on a pool worker vs the plain serial
+ *    run, comparing merge traces and final IR byte-for-byte;
+ *  - Session-level: the full pipeline matrix (policy x fault x thread
+ *    count) with CHF_PARALLEL_TRIALS=0 vs =1, comparing asm,
+ *    diagnostics, degradation, vreg counts, and merge counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "backend/asm_writer.h"
+#include "frontend/lowering.h"
+#include "hyperblock/convergent.h"
+#include "hyperblock/merge.h"
+#include "hyperblock/phase_ordering.h"
+#include "ir/printer.h"
+#include "pipeline/session.h"
+#include "support/thread_pool.h"
+#include "workloads/workloads.h"
+
+namespace chf {
+namespace {
+
+struct FormationRun
+{
+    std::string ir;
+    std::vector<MergeTraceEntry> trace;
+    int64_t merges = 0;
+    int64_t specRounds = 0;
+    int64_t trialsSpeculated = 0;
+    uint32_t finalVregs = 0;
+};
+
+/**
+ * Form hyperblocks over @p source with formation running as a task of
+ * a @p workers-wide pool. With >= 2 workers the engine discovers the
+ * pool via WorkStealingPool::current() and runs speculative rounds;
+ * with 0 workers submit() is inline and the serial path runs — the
+ * differential baseline, same code on the same thread.
+ */
+FormationRun
+runFormationPooled(const std::string &source, size_t workers)
+{
+    Program p = compileTinyC(source);
+    prepareProgram(p);
+
+    FormationRun run;
+    {
+        WorkStealingPool pool(workers);
+        pool.submit([&] {
+            MergeOptions opts;
+            opts.recordMergeTrace = true;
+            MergeEngine engine(p.fn, opts);
+            BreadthFirstPolicy policy;
+            for (BlockId seed : p.fn.reversePostOrder()) {
+                if (p.fn.block(seed))
+                    expandBlock(engine, policy, seed);
+            }
+            run.trace = engine.trace();
+            run.merges = engine.stats().get("blocksMerged");
+            run.specRounds = engine.stats().get("specRounds");
+            run.trialsSpeculated =
+                engine.stats().get("trialsSpeculated");
+        });
+        pool.waitIdle();
+    }
+    p.fn.removeUnreachable();
+    run.ir = toString(p.fn);
+    run.finalVregs = p.fn.numVregs();
+    return run;
+}
+
+void
+expectSameRun(const FormationRun &a, const FormationRun &b,
+              const char *what)
+{
+    ASSERT_EQ(a.trace.size(), b.trace.size()) << what;
+    for (size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(a.trace[i], b.trace[i])
+            << what << ": merge decision " << i << " diverged: bb"
+            << a.trace[i].hb << "<-bb" << a.trace[i].s << " ("
+            << a.trace[i].reason << ") vs bb" << b.trace[i].hb
+            << "<-bb" << b.trace[i].s << " (" << b.trace[i].reason
+            << ")";
+    }
+    EXPECT_EQ(a.merges, b.merges) << what;
+    EXPECT_EQ(a.finalVregs, b.finalVregs) << what;
+    EXPECT_EQ(a.ir, b.ir) << what;
+}
+
+/** Candidate-rich source: diamonds and straight-line tails so rounds
+ *  regularly see >= 2 candidates and mix successes with failures. */
+const char *kBranchySource = R"(
+int data[32];
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 24; i += 1) {
+    int t = i * 5;
+    if ((t & 1) == 1) { acc += t; } else { acc -= i; }
+    if ((t & 6) == 2) { acc += 3; } else { acc = acc ^ t; }
+    if ((t & 12) == 4) { acc -= 9; }
+    data[i & 31] = acc;
+  }
+  for (int i = 0; i < 16; i += 1) {
+    int v = data[i];
+    if ((v & 2) == 2) { acc += v * 3; } else { acc -= v / 2; }
+    if (acc > 900) { acc -= 800; }
+  }
+  return acc;
+}
+)";
+
+TEST(ParallelTrialsDifferential, EngineTraceMatchesSerialOracle)
+{
+    FormationRun serial = runFormationPooled(kBranchySource, 0);
+    FormationRun parallel = runFormationPooled(kBranchySource, 4);
+    expectSameRun(parallel, serial, "pooled vs serial");
+    EXPECT_GT(serial.merges, 0);
+    // The serial baseline must never speculate; the pooled run must
+    // actually have exercised the speculative rounds being tested.
+    EXPECT_EQ(serial.specRounds, 0);
+    EXPECT_GT(parallel.specRounds, 0);
+    EXPECT_GE(parallel.trialsSpeculated, parallel.specRounds);
+}
+
+TEST(ParallelTrialsDifferential, EnvVarDisablesSpeculation)
+{
+    setenv("CHF_PARALLEL_TRIALS", "0", 1);
+    EXPECT_FALSE(MergeEngine::parallelTrialsEnabledByEnv());
+    FormationRun gated = runFormationPooled(kBranchySource, 4);
+    unsetenv("CHF_PARALLEL_TRIALS");
+    EXPECT_TRUE(MergeEngine::parallelTrialsEnabledByEnv());
+
+    EXPECT_EQ(gated.specRounds, 0);
+    expectSameRun(gated, runFormationPooled(kBranchySource, 0),
+                  "env-gated vs serial");
+}
+
+TEST(ParallelTrialsDifferential, OptionDisablesSpeculation)
+{
+    Program p = compileTinyC(kBranchySource);
+    prepareProgram(p);
+    WorkStealingPool pool(4);
+    int64_t rounds = -1;
+    pool.submit([&] {
+        MergeOptions opts;
+        opts.parallelTrials = false;
+        MergeEngine engine(p.fn, opts);
+        BreadthFirstPolicy policy;
+        for (BlockId seed : p.fn.reversePostOrder()) {
+            if (p.fn.block(seed))
+                expandBlock(engine, policy, seed);
+        }
+        rounds = engine.stats().get("specRounds");
+    });
+    pool.waitIdle();
+    EXPECT_EQ(rounds, 0);
+}
+
+TEST(ParallelTrialsDifferential, BlockSplittingForcesSerial)
+{
+    // Failed split trials mutate the CFG, so speculation is unsound
+    // with splitting enabled; the engine must fall back to serial and
+    // still match the no-pool run byte-for-byte.
+    auto run_split = [&](size_t workers) {
+        Program p = compileTinyC(kBranchySource);
+        prepareProgram(p);
+        FormationRun run;
+        WorkStealingPool pool(workers);
+        pool.submit([&] {
+            MergeOptions opts;
+            opts.recordMergeTrace = true;
+            opts.enableBlockSplitting = true;
+            MergeEngine engine(p.fn, opts);
+            BreadthFirstPolicy policy;
+            for (BlockId seed : p.fn.reversePostOrder()) {
+                if (p.fn.block(seed))
+                    expandBlock(engine, policy, seed);
+            }
+            run.trace = engine.trace();
+            run.merges = engine.stats().get("blocksMerged");
+            run.specRounds = engine.stats().get("specRounds");
+        });
+        pool.waitIdle();
+        p.fn.removeUnreachable();
+        run.ir = toString(p.fn);
+        run.finalVregs = p.fn.numVregs();
+        return run;
+    };
+    FormationRun pooled = run_split(4);
+    EXPECT_EQ(pooled.specRounds, 0);
+    expectSameRun(pooled, run_split(0), "splitting pooled vs serial");
+}
+
+// ----- Session matrix: parallel trials x policy x fault x threads -----
+
+struct BatchOutput
+{
+    std::vector<std::string> asmText;
+    std::vector<uint32_t> vregCounts;
+    std::string diagText;
+    int64_t merges = 0;
+    size_t degraded = 0;
+};
+
+/**
+ * Compile a 4-workload batch through the full pipeline (backend on, so
+ * asm is a complete end-to-end fingerprint) with CHF_PARALLEL_TRIALS
+ * pinned to @p parallel_trials. @p fault optionally injects a
+ * formation failure into unit 1; keep-going mode turns it into a
+ * rollback plus a diagnostic instead of an abort.
+ */
+BatchOutput
+compileBatch(PolicyKind policy, int threads, const FaultSpec *fault,
+             bool parallel_trials)
+{
+    const char *const names[] = {"dhry", "bzip2_3", "sieve", "gzip_1"};
+
+    setenv("CHF_PARALLEL_TRIALS", parallel_trials ? "1" : "0", 1);
+
+    SessionOptions options = SessionOptions()
+                                 .withPolicy(policy)
+                                 .withKeepGoing(true)
+                                 .withThreads(threads);
+    if (fault)
+        options.withFault(*fault);
+    Session session(options);
+    for (const char *name : names) {
+        const Workload *workload = findWorkload(name);
+        EXPECT_NE(workload, nullptr) << name;
+        Program program = buildWorkload(*workload);
+        ProfileData profile = prepareProgram(program);
+        session.addProgram(std::move(program), std::move(profile),
+                           name);
+    }
+    SessionResult result = session.compile();
+    unsetenv("CHF_PARALLEL_TRIALS");
+
+    BatchOutput out;
+    for (size_t unit = 0; unit < session.size(); ++unit) {
+        out.asmText.push_back(writeFunctionAsm(session.program(unit).fn));
+        out.vregCounts.push_back(session.program(unit).fn.numVregs());
+    }
+    out.diagText = result.diagnostics.toString();
+    out.merges = result.totals.get("blocksMerged");
+    out.degraded = result.degradedCount();
+    return out;
+}
+
+/** Parallel trials on vs off must be byte-identical end to end. */
+void
+expectParallelTrialsIrrelevant(PolicyKind policy, int threads,
+                               const FaultSpec *fault)
+{
+    BatchOutput on = compileBatch(policy, threads, fault, true);
+    BatchOutput off = compileBatch(policy, threads, fault, false);
+    ASSERT_EQ(on.asmText.size(), off.asmText.size());
+    for (size_t u = 0; u < on.asmText.size(); ++u) {
+        EXPECT_EQ(on.asmText[u], off.asmText[u])
+            << policyKindName(policy) << " unit " << u << " at "
+            << threads << " threads";
+        EXPECT_EQ(on.vregCounts[u], off.vregCounts[u])
+            << policyKindName(policy) << " unit " << u << " at "
+            << threads << " threads";
+    }
+    EXPECT_EQ(on.diagText, off.diagText)
+        << policyKindName(policy) << " at " << threads << " threads";
+    EXPECT_EQ(on.merges, off.merges);
+    EXPECT_EQ(on.degraded, off.degraded);
+    if (fault) {
+        EXPECT_EQ(on.degraded, 1u);
+        EXPECT_FALSE(on.diagText.empty());
+    } else {
+        EXPECT_EQ(on.degraded, 0u);
+    }
+}
+
+class ParallelTrialsMatrix
+    : public ::testing::TestWithParam<std::tuple<PolicyKind, int>>
+{
+};
+
+TEST_P(ParallelTrialsMatrix, NoFault)
+{
+    auto [policy, threads] = GetParam();
+    expectParallelTrialsIrrelevant(policy, threads, nullptr);
+}
+
+TEST_P(ParallelTrialsMatrix, FormationCorruptIr)
+{
+    auto [policy, threads] = GetParam();
+    FaultSpec fault;
+    fault.phase = "formation";
+    fault.occurrence = 1;
+    fault.kind = FaultSpec::Kind::CorruptIr;
+    expectParallelTrialsIrrelevant(policy, threads, &fault);
+}
+
+TEST_P(ParallelTrialsMatrix, FormationThrow)
+{
+    auto [policy, threads] = GetParam();
+    FaultSpec fault;
+    fault.phase = "formation";
+    fault.occurrence = 1;
+    fault.kind = FaultSpec::Kind::Throw;
+    expectParallelTrialsIrrelevant(policy, threads, &fault);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ParallelTrialsMatrix,
+    ::testing::Combine(::testing::Values(PolicyKind::BreadthFirst,
+                                         PolicyKind::DepthFirst,
+                                         PolicyKind::Vliw),
+                       ::testing::Values(1, 4)),
+    [](const auto &info) {
+        return std::string(policyKindName(std::get<0>(info.param))) +
+               "_" + std::to_string(std::get<1>(info.param)) + "t";
+    });
+
+// ----- memo-store statistics surface -----
+
+TEST(ParallelTrials, MemoStoreStatsAreExposed)
+{
+    // A fresh compile must account its lookups: hits + misses grows,
+    // and the Session reports the same activity as per-compile deltas.
+    Program program = compileTinyC(kBranchySource);
+    ProfileData profile = prepareProgram(program);
+
+    const TrialMemoStats before = trialMemoStats();
+    EXPECT_GT(before.shards, 0u);
+    EXPECT_GT(before.capacity, 0u);
+    EXPECT_EQ(before.capacity % before.shards, 0u);
+
+    Session session{SessionOptions().withBackend(false)};
+    session.addProgramRef(program, profile);
+    SessionResult result = session.compile(1);
+
+    const TrialMemoStats after = trialMemoStats();
+    EXPECT_GE(after.hits, before.hits);
+    EXPECT_GE(after.misses, before.misses);
+    EXPECT_GE(after.entries, before.entries);
+    EXPECT_GE(after.maxShardEntries, before.maxShardEntries);
+    EXPECT_LE(after.maxShardEntries, after.entries);
+
+    EXPECT_EQ(result.totals.get("trialMemoStoreHits"),
+              static_cast<int64_t>(after.hits - before.hits));
+    EXPECT_EQ(result.totals.get("trialMemoStoreMisses"),
+              static_cast<int64_t>(after.misses - before.misses));
+    EXPECT_EQ(result.totals.get("trialMemoStoreEntries"),
+              static_cast<int64_t>(after.entries));
+    EXPECT_EQ(result.totals.get("trialMemoStoreMaxShard"),
+              static_cast<int64_t>(after.maxShardEntries));
+}
+
+} // namespace
+} // namespace chf
