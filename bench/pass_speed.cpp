@@ -42,6 +42,7 @@
 #include "support/timer.h"
 #include "transform/optimize.h"
 #include "transform/simplify_cfg.h"
+#include "workloads/generator.h"
 #include "workloads/workloads.h"
 
 using namespace chf;
@@ -409,10 +410,84 @@ sweepParallel(int repeats)
     return out;
 }
 
+// ----- generated-tier sweep (functions/sec on generator output) -----
+
+struct GeneratedTiming
+{
+    int threads = 1;
+    int64_t wallUs = 0;
+};
+
+constexpr int kGeneratedCount = 1000;
+constexpr const char *kGeneratedShape = "bench";
+
+/**
+ * Compiler throughput on the seeded-generator tier: @p kGeneratedCount
+ * single-function programs (the "bench" preset, seeds 1..N) through
+ * one full-pipeline Session, wall-clocked at 1 and 4 worker threads.
+ * Generation, lowering, and profiling happen up front and are not
+ * timed — the sweep measures the compiler, not the generator.
+ */
+std::vector<GeneratedTiming>
+sweepGenerated(int repeats)
+{
+    GeneratorShape shape;
+    namedShape(kGeneratedShape, &shape);
+
+    std::vector<Program> prepared(kGeneratedCount);
+    std::vector<ProfileData> profiles(kGeneratedCount);
+    for (int i = 0; i < kGeneratedCount; ++i) {
+        prepared[static_cast<size_t>(i)] = buildGenerated(
+            generateTinyC(static_cast<uint64_t>(i) + 1, shape));
+        profiles[static_cast<size_t>(i)] =
+            prepareProgram(prepared[static_cast<size_t>(i)]);
+    }
+
+    std::vector<GeneratedTiming> out;
+    for (int threads : {1, 4}) {
+        int64_t best = -1;
+        for (int r = 0; r < repeats; ++r) {
+            Session session(SessionOptions()
+                                .withPipeline(Pipeline::IUPO_fused)
+                                .withThreads(threads));
+            for (int i = 0; i < kGeneratedCount; ++i) {
+                session.addProgram(
+                    cloneProgram(prepared[static_cast<size_t>(i)]),
+                    ProfileData(profiles[static_cast<size_t>(i)]));
+            }
+            Timer timer;
+            session.compile();
+            int64_t us = timer.elapsedMicros();
+            if (best < 0 || us < best)
+                best = us;
+        }
+        GeneratedTiming t;
+        t.threads = threads;
+        t.wallUs = best;
+        out.push_back(t);
+    }
+
+    std::fprintf(stderr,
+                 "generated tier (%d x shape:%s, full pipeline):\n"
+                 "%8s %12s %14s\n",
+                 kGeneratedCount, kGeneratedShape, "threads", "wall us",
+                 "functions/sec");
+    for (const GeneratedTiming &t : out) {
+        double fps = t.wallUs > 0
+                         ? 1e6 * kGeneratedCount /
+                               static_cast<double>(t.wallUs)
+                         : 0.0;
+        std::fprintf(stderr, "%8d %12lld %14.0f\n", t.threads,
+                     static_cast<long long>(t.wallUs), fps);
+    }
+    return out;
+}
+
 void
 writeJson(const std::string &path,
           const std::vector<FormationTiming> &sweep,
-          const std::vector<ParallelTiming> &parallel)
+          const std::vector<ParallelTiming> &parallel,
+          const std::vector<GeneratedTiming> &generated)
 {
     std::ostringstream os;
     os << "{\n  \"bench\": \"pass_speed\",\n  \"unit\": \"us\",\n"
@@ -453,6 +528,19 @@ writeJson(const std::string &path,
            << ", \"batch_wall_us\": " << t.wallUs
            << ", \"speedup\": " << speedup << "}"
            << (i + 1 < parallel.size() ? "," : "") << "\n";
+    }
+    os << "  ]},\n  \"generated\": {\"shape\": \"" << kGeneratedShape
+       << "\", \"functions\": " << kGeneratedCount << ", \"runs\": [\n";
+    for (size_t i = 0; i < generated.size(); ++i) {
+        const auto &t = generated[i];
+        double fps = t.wallUs > 0
+                         ? 1e6 * kGeneratedCount /
+                               static_cast<double>(t.wallUs)
+                         : 0.0;
+        os << "    {\"threads\": " << t.threads
+           << ", \"batch_wall_us\": " << t.wallUs
+           << ", \"functions_per_sec\": " << fps << "}"
+           << (i + 1 < generated.size() ? "," : "") << "\n";
     }
     const TrialMemoStats memo = trialMemoStats();
     os << "  ]},\n  \"memo_store\": {\"hits\": " << memo.hits
@@ -635,7 +723,8 @@ main(int argc, char **argv)
 
     std::vector<FormationTiming> sweep = sweepFormation(3);
     std::vector<ParallelTiming> parallel = sweepParallel(3);
-    writeJson("BENCH_pass_speed.json", sweep, parallel);
+    std::vector<GeneratedTiming> generated = sweepGenerated(3);
+    writeJson("BENCH_pass_speed.json", sweep, parallel, generated);
     if (const FormationTiming *big = largestWorkload(sweep)) {
         double speedup =
             big->cachedUs > 0

@@ -124,6 +124,23 @@ allocateRegisters(Program &program, const RegAllocOptions &options)
                     liveness.liveOut(id));
             }
         }
+        // Arguments arrive in registers, not in their (zero-filled)
+        // spill slots: materialize each spilled argument at function
+        // entry, ahead of any entry-block reload spillInBlock added.
+        for (size_t i = 0; i < spilled.size(); ++i) {
+            Vreg reg = spilled[i];
+            if (std::find(fn.argRegs.begin(), fn.argRegs.end(), reg) ==
+                fn.argRegs.end())
+                continue;
+            int64_t slot = region.base + static_cast<int64_t>(i);
+            BasicBlock *entry = fn.block(fn.entry());
+            entry->insts.insert(entry->insts.begin(),
+                                Instruction::store(
+                                    Operand::makeImm(slot),
+                                    Operand::makeImm(0),
+                                    Operand::makeReg(reg)));
+            ++result.spillInstsInserted;
+        }
         // Spill code may have blown the structural limits: reverse
         // if-convert (split) the offenders.
         result.blocksSplit =

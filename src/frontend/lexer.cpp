@@ -1,6 +1,7 @@
 #include "frontend/lexer.h"
 
 #include <cctype>
+#include <stdexcept>
 
 #include "support/diagnostics.h"
 #include "support/fatal.h"
@@ -135,7 +136,13 @@ lex(const std::string &source)
             Token tok;
             tok.kind = TokenKind::IntLit;
             tok.text = source.substr(start, i - start);
-            tok.intValue = std::stoll(tok.text);
+            try {
+                tok.intValue = std::stoll(tok.text);
+            } catch (const std::out_of_range &) {
+                throwInputError("lex", SourceLoc::at(line, column(start)),
+                                "integer literal out of range: " +
+                                    tok.text);
+            }
             tok.line = line;
             tok.col = column(start);
             tokens.push_back(std::move(tok));

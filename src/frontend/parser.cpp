@@ -102,6 +102,24 @@ class Parser
                         SourceLoc::at(peek().line, peek().col), what);
     }
 
+    /**
+     * Recursion fuel for parseStmt/parseExpr: degenerate inputs (a
+     * thousand nested parens or braces) must fail with a recoverable
+     * "nesting too deep" diagnostic, not overflow the stack. The limit
+     * is far beyond anything the generator or a human writes.
+     */
+    struct DepthGuard
+    {
+        explicit DepthGuard(Parser &parser) : p(parser)
+        {
+            if (p.nesting >= kMaxNestingDepth)
+                p.errorHere("nesting too deep");
+            ++p.nesting;
+        }
+        ~DepthGuard() { --p.nesting; }
+        Parser &p;
+    };
+
     GlobalDecl
     parseGlobalRest(const Token &name)
     {
@@ -185,6 +203,7 @@ class Parser
     std::unique_ptr<Stmt>
     parseStmt()
     {
+        DepthGuard guard(*this);
         switch (peek().kind) {
           case TokenKind::LBrace:
             return parseBlock();
@@ -392,6 +411,7 @@ class Parser
     std::unique_ptr<Expr>
     parseExpr()
     {
+        DepthGuard guard(*this);
         // Conditional expression: right-associative, binds looser than
         // every binary operator.
         auto cond = parseBinary(1);
@@ -496,8 +516,11 @@ class Parser
                          " in expression"));
     }
 
+    static constexpr int kMaxNestingDepth = 256;
+
     std::vector<Token> tokens;
     size_t pos = 0;
+    int nesting = 0;
 };
 
 } // namespace

@@ -263,6 +263,7 @@ detail::compileUnit(Program &program, const ProfileData &profile,
         options.policy != PolicyKind::Vliw;
     merge.enableBlockSplitting = options.blockSplitting;
     merge.parallelTrials = options.parallelTrials;
+    merge.useTrialCache = options.useTrialCache;
 
     FormationOptions formation;
     formation.merge = merge;

@@ -75,6 +75,12 @@ struct CompileOptions
      *  a multi-threaded Session (bit-identical; DESIGN.md §11). */
     bool parallelTrials = true;
 
+    /** Trial-merge fast path (scratch reuse + failed-trial memo +
+     *  pre-screen; DESIGN.md §10). Off forces the slow path, which
+     *  must stay bit-identical — the fuzz harness compares both. Also
+     *  globally switchable off with CHF_TRIAL_CACHE=0. */
+    bool useTrialCache = true;
+
     /** Verify semantics-preservation hooks (IR verifier) per stage. */
     bool verifyStages = true;
 

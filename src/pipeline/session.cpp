@@ -159,6 +159,7 @@ Session::compile(int threads)
         co.runBackend = conf.runBackend;
         co.blockSplitting = conf.blockSplitting;
         co.parallelTrials = conf.parallelTrials;
+        co.useTrialCache = conf.useTrialCache;
         co.verifyStages = conf.verifyStages;
         co.keepGoing = conf.keepGoing;
         co.diags = conf.keepGoing ? &slot.diags : nullptr;
@@ -277,6 +278,7 @@ compileProgram(Program &program, const ProfileData &profile,
                               .withBackend(options.runBackend)
                               .withBlockSplitting(options.blockSplitting)
                               .withParallelTrials(options.parallelTrials)
+                              .withTrialCache(options.useTrialCache)
                               .withVerifyStages(options.verifyStages)
                               .withKeepGoing(options.keepGoing &&
                                              options.diags != nullptr);

@@ -74,6 +74,14 @@ struct SessionOptions
      */
     bool parallelTrials = true;
 
+    /**
+     * Trial-merge fast path (DESIGN.md §10). Off takes the slow path
+     * — bit-identical by contract, and differentially tested by the
+     * fuzz harness. Also globally switchable off with
+     * CHF_TRIAL_CACHE=0.
+     */
+    bool useTrialCache = true;
+
     /** Verify semantics-preservation hooks (IR verifier) per stage. */
     bool verifyStages = true;
 
@@ -120,6 +128,13 @@ struct SessionOptions
     withParallelTrials(bool on)
     {
         parallelTrials = on;
+        return *this;
+    }
+
+    SessionOptions &
+    withTrialCache(bool on)
+    {
+        useTrialCache = on;
         return *this;
     }
 

@@ -2,6 +2,7 @@
 
 #include "analysis/loops.h"
 #include "ir/printer.h"
+#include "support/diagnostics.h"
 #include "support/fatal.h"
 
 namespace chf {
@@ -69,6 +70,12 @@ runFunctional(const Program &program, const std::vector<int64_t> &args,
         CHF_ASSERT(bb != nullptr, "execution reached a removed block");
 
         if (result.blocksExecuted >= options.maxBlocks) {
+            if (options.throwOnBudget) {
+                throwInputError(
+                    "sim", SourceLoc{},
+                    concat("functional simulation exceeded ",
+                           options.maxBlocks, " blocks (infinite loop?)"));
+            }
             fatal(concat("functional simulation exceeded ",
                          options.maxBlocks, " blocks (infinite loop?)"));
         }

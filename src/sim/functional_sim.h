@@ -32,6 +32,11 @@ struct FuncSimOptions
 
     /** Record the executed-block trace (needed for trip histograms). */
     bool recordTrace = false;
+
+    /** Budget overrun throws RecoverableError instead of fatal. The
+     *  fuzz harness uses this so a runaway generated program is a
+     *  reportable (and shrinkable) failure, not process death. */
+    bool throwOnBudget = false;
 };
 
 /** Result of a functional run. */

@@ -1,5 +1,7 @@
 #include "sim/memory.h"
 
+#include <algorithm>
+
 #include "support/fatal.h"
 
 namespace chf {
@@ -98,6 +100,20 @@ MemoryImage::hash() const
     uint64_t h = 0xcbf29ce484222325ull;
     for (int64_t w : data) {
         h ^= static_cast<uint64_t>(w);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+uint64_t
+MemoryImage::userHash() const
+{
+    int64_t end = static_cast<int64_t>(data.size());
+    if (hasRegion("spill"))
+        end = std::min(end, region("spill").base);
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (int64_t i = 0; i < end; ++i) {
+        h ^= static_cast<uint64_t>(data[i]);
         h *= 0x100000001b3ull;
     }
     return h;

@@ -62,6 +62,16 @@ class MemoryImage
     /** FNV-1a hash of all allocated words; used to compare end states. */
     uint64_t hash() const;
 
+    /**
+     * FNV-1a hash of the program-visible globals only: every word
+     * below the register allocator's "spill" region (all words when no
+     * spill region exists). Residual spill-slot values are a backend
+     * artifact, so this — not hash() — is the hash to compare between
+     * a compiled program and an unoptimized oracle, which never
+     * spills.
+     */
+    uint64_t userHash() const;
+
   private:
     void ensure(int64_t addr) const;
 

@@ -7,33 +7,43 @@ namespace chf {
 namespace {
 
 /**
- * Snapshot branch predicates that are redefined after the branch's
- * position, so branches can be moved to the end of the instruction
- * stream without changing their outcome.
+ * Snapshot every register a branch reads — its predicate AND, for a
+ * ret, its value operand — when that register is redefined after the
+ * branch's position, so branches can be moved to the end of the
+ * instruction stream without changing their outcome. The value
+ * operand matters just as much as the predicate: after register
+ * allocation the same register routinely carries different values at
+ * different points of one block, so `ret vR <p>; ...; op vR = ...`
+ * returns the wrong value if the ret is sunk past the redefinition.
  */
 void
-stabilizeBranchPredicates(Function &fn, BasicBlock &bb)
+stabilizeBranchReads(Function &fn, BasicBlock &bb)
 {
+    auto redefinedAfter = [&bb](size_t i, Vreg r) {
+        for (size_t j = i + 1; j < bb.insts.size(); ++j) {
+            if (bb.insts[j].hasDest() && bb.insts[j].dest == r)
+                return true;
+        }
+        return false;
+    };
     std::vector<Instruction> out;
     out.reserve(bb.insts.size());
     for (size_t i = 0; i < bb.insts.size(); ++i) {
         Instruction inst = bb.insts[i];
-        if (inst.isBranch() && inst.pred.valid()) {
-            bool redefined = false;
-            for (size_t j = i + 1; j < bb.insts.size(); ++j) {
-                if (bb.insts[j].hasDest() &&
-                    bb.insts[j].dest == inst.pred.reg) {
-                    redefined = true;
-                }
-            }
-            if (redefined) {
+        if (inst.isBranch()) {
+            auto snapshot = [&](Vreg r) {
                 Vreg snap = fn.newVreg();
                 Instruction copy = Instruction::unary(
-                    Opcode::Mov, snap,
-                    Operand::makeReg(inst.pred.reg));
+                    Opcode::Mov, snap, Operand::makeReg(r));
                 copy.pred = Predicate::always();
                 out.push_back(copy);
-                inst.pred.reg = snap;
+                return snap;
+            };
+            if (inst.pred.valid() && redefinedAfter(i, inst.pred.reg))
+                inst.pred.reg = snapshot(inst.pred.reg);
+            for (Operand &src : inst.srcs) {
+                if (src.isReg() && redefinedAfter(i, src.reg))
+                    src = Operand::makeReg(snapshot(src.reg));
             }
         }
         out.push_back(inst);
@@ -57,7 +67,7 @@ splitBlock(Function &fn, BlockId id, const TripsConstraints &constraints)
         return 0;
     }
 
-    stabilizeBranchPredicates(fn, *bb);
+    stabilizeBranchReads(fn, *bb);
 
     // Partition: non-branch instructions stream into parts; branches
     // collect into the final part.
@@ -127,7 +137,7 @@ splitBlockAt(Function &fn, BlockId id, size_t first_insts)
     if (first_insts < 2 || bb->size() <= first_insts + 1)
         return kNoBlock;
 
-    stabilizeBranchPredicates(fn, *bb);
+    stabilizeBranchReads(fn, *bb);
 
     std::vector<Instruction> first, second;
     size_t taken = 0;

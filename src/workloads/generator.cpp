@@ -1,0 +1,962 @@
+#include "workloads/generator.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "analysis/loops.h"
+#include "frontend/lowering.h"
+#include "frontend/parser.h"
+#include "support/random.h"
+
+namespace chf {
+
+namespace {
+
+int
+clampInt(int v, int lo, int hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/**
+ * Emits one TinyC translation unit from a shape and an Rng. All
+ * formatting is integer-only ostringstream output, so the bytes are a
+ * pure function of the draw sequence.
+ */
+class Emitter
+{
+  public:
+    Emitter(uint64_t seed, const GeneratorShape &shape_in)
+        : rng(seed), shape(shape_in)
+    {
+    }
+
+    std::string
+    emitProgram()
+    {
+        out << "int mem[" << kMemWords << "];\n";
+        out << "int tab[" << kTabWords << "] = {";
+        for (int i = 0; i < kTabWords; ++i)
+            out << (i ? ", " : "") << rng.range(-99, 99);
+        out << "};\n";
+        out << "int gseed = " << rng.range(1, 997) << ";\n\n";
+
+        // Recursion-unfolding chain (Frühwirth): uK calls u{K-1}, the
+        // shape a self-recursive accumulator takes after unfolding.
+        for (int k = 0; k < shape.unfoldDepth; ++k)
+            emitUnfoldLevel(k);
+
+        // General helpers; hK may call hJ (J < K) and the chain top,
+        // so the inline nesting stays acyclic and depth-bounded.
+        for (int k = 0; k < shape.helperFunctions; ++k)
+            emitHelper(k);
+
+        emitMain();
+        return out.str();
+    }
+
+  private:
+    static constexpr int kMemWords = 256;
+    static constexpr int kTabWords = 16;
+
+    /** Emission bounds (see emitStmt/emitLoop). Sized so one program
+     *  compiles through the whole pipeline matrix in well under a
+     *  second, while big shapes still dwarf the hand-written suite.
+     *  Budgets are charged in POST-INLINE statements: a call costs its
+     *  callee's recorded inlined size, not 1 (TinyC inlines every
+     *  call, so flat-charging lets helper chains compound the real
+     *  compile cost exponentially past the budget). */
+    static constexpr int kHelperStmtBudget = 24;
+    static constexpr int kMainBaseStmtBudget = 16;
+    static constexpr int kRegionStmtBudget = 10;
+    static constexpr int64_t kMaxTripProduct = 2048;
+
+    // ----- function-scope state -----
+
+    void
+    beginFunction()
+    {
+        vars.clear();
+        inductionVars.clear();
+        loopIsFor.clear();
+        localCounter = 0;
+        loopCounter = 0;
+        selectorCounter = 0;
+        tripProduct = 1;
+        fnCost = 0;
+    }
+
+    std::string
+    pad(int indent) const
+    {
+        return std::string(static_cast<size_t>(indent) * 2, ' ');
+    }
+
+    const std::string &
+    var()
+    {
+        return vars[rng.below(vars.size())];
+    }
+
+    std::string
+    readVar()
+    {
+        size_t total = vars.size() + inductionVars.size();
+        size_t pick = rng.below(total);
+        return pick < vars.size() ? vars[pick]
+                                  : inductionVars[pick - vars.size()];
+    }
+
+    // ----- expressions -----
+    //
+    // UB guards: `*` operands masked to |v| < 8191, shift amounts
+    // masked small, every variable/store write masked to |v| < 2^20.
+    // With exprDepth <= 4 no intermediate can approach INT64 limits.
+
+    std::string
+    leaf()
+    {
+        switch (rng.below(6)) {
+          case 0:
+            return std::to_string(rng.range(-9, 99));
+          case 1:
+          case 2:
+            return readVar();
+          case 3:
+            return "mem[((" + readVar() + ") % " +
+                   std::to_string(kMemWords) + " + " +
+                   std::to_string(kMemWords) + ") % " +
+                   std::to_string(kMemWords) + "]";
+          case 4:
+            return "tab[((" + readVar() + ") % " +
+                   std::to_string(kTabWords) + " + " +
+                   std::to_string(kTabWords) + ") % " +
+                   std::to_string(kTabWords) + "]";
+          default:
+            return "gseed";
+        }
+    }
+
+    std::string
+    expr(int depth)
+    {
+        if (depth <= 0 || rng.chance(1, 3))
+            return leaf();
+        if (rng.chance(1, 6)) { // unary
+            static const char *const ops[] = {"-", "~", "!"};
+            return std::string(ops[rng.below(3)]) + "(" +
+                   expr(depth - 1) + ")";
+        }
+        if (rng.chance(1, 10)) { // ternary
+            return "((" + expr(depth - 1) + ") ? (" + expr(depth - 1) +
+                   ") : (" + expr(depth - 1) + "))";
+        }
+        static const char *const ops[] = {
+            "+",  "-",  "*",  "/",  "%",  "&",  "|",  "^",  "<<",
+            ">>", "<",  "<=", ">",  ">=", "==", "!=", "&&", "||"};
+        std::string op = ops[rng.below(18)];
+        std::string a = expr(depth - 1);
+        std::string b = expr(depth - 1);
+        if (op == "*")
+            return "(((" + a + ") % 8191) * ((" + b + ") % 8191))";
+        if (op == "<<")
+            return "((" + a + ") << ((" + b + ") & 7))";
+        if (op == ">>")
+            return "((" + a + ") >> ((" + b + ") & 15))";
+        return "((" + a + ") " + op + " (" + b + "))";
+    }
+
+    /** In-bounds mem index expression. */
+    std::string
+    memIndex()
+    {
+        return "((" + expr(1) + ") % " + std::to_string(kMemWords) +
+               " + " + std::to_string(kMemWords) + ") % " +
+               std::to_string(kMemWords);
+    }
+
+    // ----- statements -----
+
+    void
+    emitAssign(int indent)
+    {
+        out << pad(indent) << var() << " = (" << expr(shape.exprDepth)
+            << ") % 1048576;\n";
+    }
+
+    void
+    emitCompound(int indent)
+    {
+        out << pad(indent) << var() << (rng.chance(1, 2) ? " += " : " -= ")
+            << "(" << expr(shape.exprDepth - 1) << ") % 4096;\n";
+    }
+
+    void
+    emitStore(int indent)
+    {
+        out << pad(indent) << "mem[" << memIndex() << "] = ("
+            << expr(shape.exprDepth - 1) << ") % 1048576;\n";
+    }
+
+    void
+    emitCallAssign(int indent)
+    {
+        // A call is charged at the callee's recorded post-inline size
+        // (and capped per function by callBudget): TinyC inlines every
+        // call, so charging it as one statement would let the helper
+        // chain compound into exponential post-inline size that blows
+        // the full-matrix compile budget.
+        --callBudget;
+        const std::string &callee =
+            callables[rng.below(callables.size())];
+        int cost = inlineCost[callee];
+        stmtBudget -= cost;
+        fnCost += cost;
+        out << pad(indent) << var() << " = (" << callee << "("
+            << expr(1) << ", " << expr(1) << ")) % 1048576;\n";
+    }
+
+    void
+    emitBranchShape(int depth, int indent)
+    {
+        int sw = shape.switchPct;
+        int di = sw + shape.diamondPct;
+        int tr = di + shape.trianglePct;
+        int total = tr + shape.hammockPct;
+        if (total <= 0) {
+            emitTriangle(depth, indent);
+            return;
+        }
+        int draw = static_cast<int>(rng.below(
+            static_cast<uint64_t>(total)));
+        if (draw < sw)
+            emitSwitchChain(depth, indent);
+        else if (draw < di)
+            emitDiamond(depth, indent);
+        else if (draw < tr)
+            emitTriangle(depth, indent);
+        else
+            emitHammock(depth, indent);
+    }
+
+    /** Dense if/else-if compare chain on one selector: what a switch
+     *  lowers to, and the branch-melding suite's favourite prey. */
+    void
+    emitSwitchChain(int depth, int indent)
+    {
+        std::string sel = "s" + std::to_string(selectorCounter++);
+        int cases = std::max(2, shape.switchCases);
+        out << pad(indent) << "int " << sel << " = ((" << expr(2)
+            << ") % " << cases << " + " << cases << ") % " << cases
+            << ";\n";
+        vars.push_back(sel);
+        for (int c = 0; c < cases; ++c) {
+            if (c == 0)
+                out << pad(indent) << "if (" << sel << " == 0) {\n";
+            else
+                out << " else if (" << sel << " == " << c << ") {\n";
+            emitBlock(depth - 1, indent + 1);
+            out << pad(indent) << "}";
+        }
+        if (rng.chance(2, 3)) {
+            out << " else {\n";
+            emitBlock(depth - 1, indent + 1);
+            out << pad(indent) << "}";
+        }
+        out << "\n";
+    }
+
+    void
+    emitDiamond(int depth, int indent)
+    {
+        if (rng.chance(static_cast<uint64_t>(shape.meldPct), 100)) {
+            emitMeldedDiamond(indent);
+            return;
+        }
+        out << pad(indent) << "if (" << expr(2) << ") {\n";
+        emitBlock(depth - 1, indent + 1);
+        out << pad(indent) << "} else {\n";
+        emitBlock(depth - 1, indent + 1);
+        out << pad(indent) << "}\n";
+    }
+
+    /** Both arms run the same operation with different constants —
+     *  the meldable pattern of "Eliminate Branches by Melding IR
+     *  Instructions". */
+    void
+    emitMeldedDiamond(int indent)
+    {
+        static const char *const ops[] = {"+", "-", "^", "&", "|"};
+        std::string op = ops[rng.below(5)];
+        std::string dst = var();
+        std::string src = readVar();
+        int64_t k1 = rng.range(1, 64);
+        int64_t k2 = rng.range(1, 64);
+        out << pad(indent) << "if (" << expr(2) << ") { " << dst
+            << " = ((" << src << ") " << op << " " << k1
+            << ") % 1048576; } else { " << dst << " = ((" << src
+            << ") " << op << " " << k2 << ") % 1048576; }\n";
+    }
+
+    void
+    emitTriangle(int depth, int indent)
+    {
+        out << pad(indent) << "if (" << expr(2) << ") {\n";
+        emitBlock(depth - 1, indent + 1);
+        out << pad(indent) << "}\n";
+    }
+
+    /** Single-entry single-exit region with internal control flow in
+     *  one arm, joined by a store everyone passes through. */
+    void
+    emitHammock(int depth, int indent)
+    {
+        out << pad(indent) << "if (" << expr(2) << ") {\n";
+        if (depth >= 2)
+            emitBranchShapeInner(depth - 1, indent + 1);
+        emitBlock(depth - 1, indent + 1);
+        out << pad(indent) << "} else {\n";
+        emitBlock(depth - 1, indent + 1);
+        out << pad(indent) << "}\n";
+        emitStore(indent);
+    }
+
+    /** A nested branch that never recurses back into hammocks. */
+    void
+    emitBranchShapeInner(int depth, int indent)
+    {
+        if (rng.chance(1, 2))
+            emitTriangle(depth, indent);
+        else
+            emitDiamond(depth, indent);
+    }
+
+    void
+    emitLoop(int depth, int indent)
+    {
+        // Cap the product of enclosing trip counts so a nest of
+        // shape-limit loops cannot multiply into a simulation that
+        // dwarfs the compile under test.
+        int maxTrip = std::max(1, shape.maxLoopTrip);
+        if (tripProduct * maxTrip > kMaxTripProduct) {
+            maxTrip = static_cast<int>(
+                std::max<int64_t>(1, kMaxTripProduct / tripProduct));
+        }
+        int trip = static_cast<int>(rng.range(1, maxTrip));
+        int step = static_cast<int>(rng.range(1, 2));
+        int64_t outerTripProduct = tripProduct;
+        tripProduct = tripProduct * trip;
+        switch (rng.below(3)) {
+          case 0: { // for: step runs on continue, so continue is legal
+            std::string iv = "i" + std::to_string(loopCounter++);
+            out << pad(indent) << "for (int " << iv << " = 0; " << iv
+                << " < " << trip * step << "; " << iv << " += " << step
+                << ") {\n";
+            inductionVars.push_back(iv);
+            loopIsFor.push_back(true);
+            emitBlock(depth - 1, indent + 1);
+            loopIsFor.pop_back();
+            inductionVars.pop_back();
+            out << pad(indent) << "}\n";
+            break;
+          }
+          case 1: { // while: increment last; continue never emitted
+            std::string iv = "w" + std::to_string(loopCounter++);
+            out << pad(indent) << "int " << iv << " = 0;\n";
+            out << pad(indent) << "while (" << iv << " < "
+                << trip * step << ") {\n";
+            inductionVars.push_back(iv);
+            loopIsFor.push_back(false);
+            emitBlock(depth - 1, indent + 1);
+            loopIsFor.pop_back();
+            inductionVars.pop_back();
+            out << pad(indent + 1) << iv << " += " << step << ";\n";
+            out << pad(indent) << "}\n";
+            break;
+          }
+          default: { // do-while (bottom-tested)
+            std::string iv = "d" + std::to_string(loopCounter++);
+            out << pad(indent) << "int " << iv << " = 0;\n";
+            out << pad(indent) << "do {\n";
+            inductionVars.push_back(iv);
+            loopIsFor.push_back(false);
+            emitBlock(depth - 1, indent + 1);
+            loopIsFor.pop_back();
+            inductionVars.pop_back();
+            out << pad(indent + 1) << iv << " += " << step << ";\n";
+            out << pad(indent) << "} while (" << iv << " < "
+                << trip * step << ");\n";
+            break;
+          }
+        }
+        tripProduct = outerTripProduct;
+    }
+
+    void
+    emitStmt(int depth, int indent)
+    {
+        // The statement budget hard-bounds a function's POST-INLINE
+        // emission no matter how the shape multiplies nesting × width:
+        // once spent, every pending slot degenerates to a leaf
+        // statement and calls (charged at inlined cost, and the only
+        // way to overdraw) are cut off. Keeps the compile cost of one
+        // program in the fuzz-matrix range.
+        --stmtBudget;
+        ++fnCost;
+        if (stmtBudget <= 0)
+            depth = 0;
+        bool inLoop = !loopIsFor.empty();
+        bool canContinue = inLoop && loopIsFor.back();
+        bool canCall =
+            !callables.empty() && callBudget > 0 && stmtBudget > 0;
+        // Rarely-taken early exits exercise side-exit handling.
+        if (inLoop && rng.chance(1, 12)) {
+            out << pad(indent) << "if (" << expr(1) << ") { "
+                << (canContinue && rng.chance(1, 2) ? "continue"
+                                                    : "break")
+                << "; }\n";
+            return;
+        }
+        if (depth <= 0) {
+            switch (rng.below(canCall ? 4u : 3u)) {
+              case 0: emitAssign(indent); return;
+              case 1: emitCompound(indent); return;
+              case 2: emitStore(indent); return;
+              default: emitCallAssign(indent); return;
+            }
+        }
+        switch (rng.below(canCall ? 9u : 8u)) {
+          case 0:
+          case 1: emitAssign(indent); return;
+          case 2: emitCompound(indent); return;
+          case 3: emitStore(indent); return;
+          case 4:
+          case 5: emitBranchShape(depth, indent); return;
+          case 6:
+          case 7: emitLoop(depth, indent); return;
+          default: emitCallAssign(indent); return;
+        }
+    }
+
+    /**
+     * Statements between one `{` and its `}`. Lowering is
+     * block-scoped, so declarations a child statement introduced
+     * (switch selectors, loop counters) must leave the readable pool
+     * when the brace closes.
+     */
+    void
+    emitBlock(int depth, int indent)
+    {
+        size_t scopeMark = vars.size();
+        int stmts = static_cast<int>(
+            rng.range(1, std::max(1, shape.stmtsMax)));
+        for (int i = 0; i < stmts; ++i)
+            emitStmt(depth, indent);
+        vars.resize(scopeMark);
+    }
+
+    // ----- functions -----
+
+    void
+    emitUnfoldLevel(int k)
+    {
+        beginFunction();
+        std::string name = "u" + std::to_string(k);
+        // Inlined size of the whole chain below this level: ~3
+        // statements per level once every recursive call is expanded.
+        inlineCost[name] =
+            k == 0 ? 2 : inlineCost["u" + std::to_string(k - 1)] + 3;
+        out << "int " << name << "(int n, int acc) {\n";
+        if (k == 0) {
+            out << "  return ((acc + (n ^ " << rng.range(1, 99)
+                << ")) % 1048576);\n";
+        } else {
+            out << "  if (n <= 0) { return ((acc + "
+                << rng.range(1, 99) << ") % 1048576); }\n";
+            out << "  return u" << (k - 1)
+                << "(n - 1, ((acc + ((n) % 8191) * ("
+                << rng.range(2, 97) << ")) % 1048576));\n";
+        }
+        out << "}\n\n";
+    }
+
+    void
+    emitHelper(int k)
+    {
+        beginFunction();
+        // Callable from here: lower-numbered helpers and, from the
+        // first helper only, the unfold-chain top (bounds the total
+        // inline depth at helpers + unfold levels).
+        callables.clear();
+        for (int j = 0; j < k; ++j)
+            callables.push_back("h" + std::to_string(j));
+        if (k == 0 && shape.unfoldDepth > 0)
+            callables.push_back(
+                "u" + std::to_string(shape.unfoldDepth - 1));
+
+        std::string name = "h" + std::to_string(k);
+        out << "int " << name << "(int n, int x) {\n";
+        out << "  int y = (n) % 65536;\n";
+        out << "  int z = (x) % 65536;\n";
+        vars = {"y", "z"};
+        stmtBudget = kHelperStmtBudget;
+        callBudget = 2;
+        int depth = std::min(2, shape.maxDepth);
+        emitBlock(depth, 1);
+        out << "  return ((y ^ z) % 1048576);\n";
+        out << "}\n\n";
+        inlineCost[name] = fnCost + 4; // + prologue and return
+    }
+
+    void
+    emitMain()
+    {
+        beginFunction();
+        callables.clear();
+        for (int j = 0; j < shape.helperFunctions; ++j)
+            callables.push_back("h" + std::to_string(j));
+        if (shape.unfoldDepth > 0)
+            callables.push_back(
+                "u" + std::to_string(shape.unfoldDepth - 1));
+
+        out << "int main(";
+        for (int p = 0; p < shape.mainParams; ++p)
+            out << (p ? ", " : "") << "int a" << p;
+        out << ") {\n";
+        // Mask the caller-controlled inputs once so no expression over
+        // them can overflow, whatever the CLI passes.
+        for (int p = 0; p < shape.mainParams; ++p) {
+            std::string v = "p" + std::to_string(p);
+            out << "  int " << v << " = (a" << p << ") % 65536;\n";
+            vars.push_back(v);
+        }
+        for (int i = 0; i < 3; ++i) {
+            std::string v = "v" + std::to_string(localCounter++);
+            out << "  int " << v << " = " << rng.range(-99, 99)
+                << ";\n";
+            vars.push_back(v);
+        }
+        if (shape.unfoldDepth > 0) {
+            out << "  int vu = (u" << (shape.unfoldDepth - 1) << "("
+                << rng.range(1, shape.unfoldDepth) << ", "
+                << rng.range(0, 99) << ")) % 1048576;\n";
+            vars.push_back("vu");
+        }
+        stmtBudget = kMainBaseStmtBudget +
+                     kRegionStmtBudget * shape.regions;
+        callBudget = 4;
+        for (int r = 0; r < shape.regions; ++r)
+            emitStmt(shape.maxDepth, 1);
+
+        out << "  return ((";
+        for (size_t i = 0; i < vars.size(); ++i) {
+            if (i)
+                out << (i % 2 ? " ^ " : " + ");
+            out << vars[i];
+        }
+        out << " + mem[" << memIndex() << "]) % 1048576);\n";
+        out << "}\n";
+    }
+
+    Rng rng;
+    GeneratorShape shape;
+    std::ostringstream out;
+
+    std::vector<std::string> vars;
+    std::vector<std::string> inductionVars;
+    std::vector<bool> loopIsFor;
+    std::vector<std::string> callables;
+    int localCounter = 0;
+    int loopCounter = 0;
+    int selectorCounter = 0;
+    int stmtBudget = 0;
+    int callBudget = 0;
+    int fnCost = 0;
+    std::map<std::string, int> inlineCost;
+    int64_t tripProduct = 1;
+};
+
+struct Preset
+{
+    const char *name;
+    GeneratorShape shape;
+};
+
+std::vector<Preset>
+makePresets()
+{
+    std::vector<Preset> presets;
+    GeneratorShape d; // "default" is the struct's defaults
+
+    presets.push_back({"default", d});
+
+    GeneratorShape tiny = d;
+    tiny.helperFunctions = 0;
+    tiny.regions = 1;
+    tiny.maxDepth = 2;
+    tiny.exprDepth = 2;
+    presets.push_back({"tiny", tiny});
+
+    GeneratorShape deep = d;
+    deep.maxDepth = 6;
+    deep.regions = 2;
+    deep.maxLoopTrip = 3;
+    presets.push_back({"deep", deep});
+
+    GeneratorShape wide = d;
+    wide.regions = 8;
+    wide.maxDepth = 2;
+    presets.push_back({"wide", wide});
+
+    GeneratorShape switchy = d;
+    switchy.switchPct = 70;
+    switchy.diamondPct = 10;
+    switchy.trianglePct = 10;
+    switchy.hammockPct = 10;
+    switchy.switchCases = 8;
+    presets.push_back({"switchy", switchy});
+
+    GeneratorShape melded = d;
+    melded.diamondPct = 60;
+    melded.trianglePct = 15;
+    melded.hammockPct = 10;
+    melded.meldPct = 90;
+    presets.push_back({"melded", melded});
+
+    GeneratorShape unfold = d;
+    unfold.helperFunctions = 1;
+    unfold.unfoldDepth = 8;
+    presets.push_back({"unfold", unfold});
+
+    GeneratorShape irreducible = d;
+    irreducible.irreducibleEdges = 3;
+    presets.push_back({"irreducible", irreducible});
+
+    // Small and fast to prepare: the throughput-bench tier.
+    GeneratorShape bench = d;
+    bench.helperFunctions = 1;
+    bench.regions = 2;
+    bench.maxDepth = 2;
+    bench.exprDepth = 2;
+    bench.maxLoopTrip = 3;
+    presets.push_back({"bench", bench});
+
+    return presets;
+}
+
+const std::vector<Preset> &
+presets()
+{
+    static const std::vector<Preset> all = makePresets();
+    return all;
+}
+
+} // namespace
+
+void
+GeneratorShape::clamp()
+{
+    helperFunctions = clampInt(helperFunctions, 0, 8);
+    regions = clampInt(regions, 1, 64);
+    maxDepth = clampInt(maxDepth, 1, 8);
+    // exprDepth > 4 voids the signed-overflow headroom analysis in the
+    // file comment of generator.h; keep the cap in sync with it.
+    exprDepth = clampInt(exprDepth, 1, 4);
+    maxLoopTrip = clampInt(maxLoopTrip, 1, 64);
+    stmtsMax = clampInt(stmtsMax, 1, 8);
+    switchPct = clampInt(switchPct, 0, 100);
+    diamondPct = clampInt(diamondPct, 0, 100);
+    trianglePct = clampInt(trianglePct, 0, 100);
+    hammockPct = clampInt(hammockPct, 0, 100);
+    meldPct = clampInt(meldPct, 0, 100);
+    switchCases = clampInt(switchCases, 2, 16);
+    unfoldDepth = clampInt(unfoldDepth, 0, 12);
+    irreducibleEdges = clampInt(irreducibleEdges, 0, 8);
+    mainParams = clampInt(mainParams, 1, 4);
+}
+
+bool
+namedShape(const std::string &name, GeneratorShape *out)
+{
+    for (const Preset &p : presets()) {
+        if (name == p.name) {
+            *out = p.shape;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<std::string> &
+shapeNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const Preset &p : presets())
+            v.push_back(p.name);
+        return v;
+    }();
+    return names;
+}
+
+bool
+parseGenSpec(const std::string &spec, uint64_t *seed,
+             GeneratorShape *shape, std::string *err)
+{
+    GeneratorShape result = *shape;
+    uint64_t result_seed = *seed;
+
+    std::vector<std::pair<std::string, std::string>> pairs;
+    size_t at = 0;
+    while (at < spec.size()) {
+        size_t comma = spec.find(',', at);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string item = spec.substr(at, comma - at);
+        at = comma + 1;
+        if (item.empty())
+            continue;
+        size_t colon = item.find(':');
+        if (colon == std::string::npos) {
+            if (err)
+                *err = "expected key:value, got '" + item + "'";
+            return false;
+        }
+        pairs.emplace_back(item.substr(0, colon),
+                           item.substr(colon + 1));
+    }
+
+    // The preset applies first regardless of position, so
+    // "seed:5,funcs:9,shape:deep" keeps funcs = 9.
+    for (const auto &[key, value] : pairs) {
+        if (key != "shape")
+            continue;
+        if (!namedShape(value, &result)) {
+            if (err)
+                *err = "unknown shape '" + value + "'";
+            return false;
+        }
+    }
+
+    for (const auto &[key, value] : pairs) {
+        if (key == "shape")
+            continue;
+        char *end = nullptr;
+        long long num = std::strtoll(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0') {
+            if (err)
+                *err = "bad number '" + value + "' for key '" + key +
+                       "'";
+            return false;
+        }
+        int v = static_cast<int>(num);
+        if (key == "seed") result_seed = static_cast<uint64_t>(num);
+        else if (key == "funcs") result.helperFunctions = v;
+        else if (key == "regions") result.regions = v;
+        else if (key == "depth") result.maxDepth = v;
+        else if (key == "expr") result.exprDepth = v;
+        else if (key == "trip") result.maxLoopTrip = v;
+        else if (key == "stmts") result.stmtsMax = v;
+        else if (key == "switch") result.switchPct = v;
+        else if (key == "diamond") result.diamondPct = v;
+        else if (key == "triangle") result.trianglePct = v;
+        else if (key == "hammock") result.hammockPct = v;
+        else if (key == "meld") result.meldPct = v;
+        else if (key == "cases") result.switchCases = v;
+        else if (key == "unfold") result.unfoldDepth = v;
+        else if (key == "irr") result.irreducibleEdges = v;
+        else if (key == "params") result.mainParams = v;
+        else {
+            if (err)
+                *err = "unknown key '" + key + "'";
+            return false;
+        }
+    }
+
+    result.clamp();
+    *shape = result;
+    *seed = result_seed;
+    return true;
+}
+
+std::string
+genSpecString(uint64_t seed, const GeneratorShape &shape)
+{
+    std::ostringstream os;
+    os << "seed:" << seed
+       << ",funcs:" << shape.helperFunctions
+       << ",regions:" << shape.regions
+       << ",depth:" << shape.maxDepth
+       << ",expr:" << shape.exprDepth
+       << ",trip:" << shape.maxLoopTrip
+       << ",stmts:" << shape.stmtsMax
+       << ",switch:" << shape.switchPct
+       << ",diamond:" << shape.diamondPct
+       << ",triangle:" << shape.trianglePct
+       << ",hammock:" << shape.hammockPct
+       << ",meld:" << shape.meldPct
+       << ",cases:" << shape.switchCases
+       << ",unfold:" << shape.unfoldDepth
+       << ",irr:" << shape.irreducibleEdges
+       << ",params:" << shape.mainParams;
+    return os.str();
+}
+
+GeneratedProgram
+generateTinyC(uint64_t seed, const GeneratorShape &shape_in)
+{
+    GeneratorShape shape = shape_in;
+    shape.clamp();
+
+    GeneratedProgram gen;
+    gen.seed = seed;
+    gen.shape = shape;
+
+    Emitter emitter(seed, shape);
+    gen.source = emitter.emitProgram();
+
+    // Reference input vector, drawn from an independent stream so the
+    // source bytes do not depend on how many args are consumed.
+    Rng args_rng(seed ^ 0xa1c5ull);
+    for (int p = 0; p < shape.mainParams; ++p)
+        gen.args.push_back(args_rng.range(-9999, 9999));
+    return gen;
+}
+
+int
+injectIrreducibleEdges(Program &program, uint64_t seed, int count)
+{
+    Function &fn = program.fn;
+    Rng rng(seed ^ 0x1d2e3f4a5b6c7d8eull);
+    int injected = 0;
+
+    for (int round = 0; injected < count && round < count * 4;
+         ++round) {
+        std::vector<BlockId> rpo = fn.reversePostOrder();
+        std::vector<size_t> rpoIndex(fn.blockTableSize(), SIZE_MAX);
+        for (size_t i = 0; i < rpo.size(); ++i)
+            rpoIndex[rpo[i]] = i;
+
+        LoopInfo loops(fn);
+
+        // Targets: a non-header block of some natural loop, i.e. a
+        // second entry into that loop once an outside edge lands on it.
+        struct Target
+        {
+            BlockId block;
+            size_t loopIdx;
+        };
+        std::vector<Target> targets;
+        for (size_t li = 0; li < loops.loops().size(); ++li) {
+            const Loop &loop = loops.loops()[li];
+            for (BlockId b : loop.blocks) {
+                if (b != loop.header && rpoIndex[b] != SIZE_MAX)
+                    targets.push_back({b, li});
+            }
+        }
+        if (targets.empty())
+            return injected;
+
+        Target tgt = targets[rng.below(targets.size())];
+        const Loop &loop = loops.loops()[tgt.loopIdx];
+
+        // Sources: an unpredicated branch strictly earlier in RPO,
+        // outside the target's loop but inside SOME loop. The in-a-
+        // loop requirement is load-bearing twice over: the fuel
+        // counter below is then multi-def (entry init + in-loop
+        // increment), so no constant folder can prove the diversion
+        // always taken and delete the original path out from under
+        // the target loop's live-ins; and the branch genuinely
+        // re-executes, so the fuel actually meters something.
+        struct Source
+        {
+            BlockId block;
+            size_t instIdx;
+        };
+        std::vector<Source> sources;
+        for (BlockId u : rpo) {
+            if (rpoIndex[u] >= rpoIndex[tgt.block] || u == tgt.block)
+                continue;
+            if (std::binary_search(loop.blocks.begin(),
+                                   loop.blocks.end(), u))
+                continue;
+            if (loops.innermostContaining(u) == nullptr)
+                continue;
+            const BasicBlock *bb = fn.block(u);
+            for (size_t idx : bb->branchIndices()) {
+                const Instruction &inst = bb->insts[idx];
+                if (inst.op == Opcode::Br && !inst.pred.valid() &&
+                    inst.target != tgt.block) {
+                    sources.push_back({u, idx});
+                }
+            }
+        }
+        if (sources.empty())
+            continue;
+
+        // Split the branch on a fuel counter: the first two executions
+        // divert through the irreducible edge, every later one follows
+        // the original target. The CFG is statically irreducible (the
+        // loop has a second entry), but dynamically the diversion is a
+        // bounded prefix — afterwards control follows the original
+        // structured, terminating flow. (A plain retarget is NOT safe:
+        // it severs the original edge, and a loop's exit path can then
+        // feed straight back into the new entry, looping forever even
+        // though every cycle crosses the counter's latch.)
+        Source src = sources[rng.below(sources.size())];
+        Vreg fuel = fn.newVreg();
+        Vreg divert = fn.newVreg();
+        // Seed the fuel from memory, not an immediate: entry runs
+        // before any store, so this reads mem[0]'s initial 0, but a
+        // load is an opaque value to GVN — no pass can fold the
+        // diversion test to a constant even if unrolling straight-
+        // lines the increments.
+        BasicBlock *entry = fn.block(fn.entry());
+        entry->insts.insert(
+            entry->insts.begin(),
+            Instruction::load(fuel, Operand::makeImm(0),
+                              Operand::makeImm(0)));
+        if (src.block == fn.entry())
+            ++src.instIdx; // the load above shifted the branch
+
+        BasicBlock *sb = fn.block(src.block);
+        BlockId original = sb->insts[src.instIdx].target;
+        double freq = sb->insts[src.instIdx].freq;
+        auto at = sb->insts.begin() +
+                  static_cast<ptrdiff_t>(src.instIdx);
+        at = sb->insts.insert(
+            at, Instruction::binary(Opcode::Add, fuel,
+                                    Operand::makeReg(fuel),
+                                    Operand::makeImm(1)));
+        at = sb->insts.insert(
+            at + 1, Instruction::binary(Opcode::Tlt, divert,
+                                        Operand::makeReg(fuel),
+                                        Operand::makeImm(3)));
+        ++at;
+        *at = Instruction::br(tgt.block,
+                              Predicate::onReg(divert, true), freq);
+        sb->insts.insert(
+            at + 1,
+            Instruction::br(original,
+                            Predicate::onReg(divert, false), freq));
+        ++injected;
+    }
+    return injected;
+}
+
+Program
+buildGenerated(const GeneratedProgram &generated)
+{
+    TranslationUnit unit = parseTinyC(generated.source);
+    Program program = lowerToIR(unit);
+    program.defaultArgs = generated.args;
+    if (generated.shape.irreducibleEdges > 0) {
+        injectIrreducibleEdges(program, generated.seed,
+                               generated.shape.irreducibleEdges);
+    }
+    return program;
+}
+
+} // namespace chf

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Seeded, deterministic TinyC program generator.
+ *
+ * Every program is a pure function of (seed, GeneratorShape) — the
+ * generator draws exclusively from chf::Rng (src/support/random.h),
+ * never from the environment, so a fuzz failure is fully reproducible
+ * from the spec string alone (`seed:S,funcs:N,shape:X,...`). The shape
+ * grammar covers the adversarial CFG families the hand-written suite
+ * lacks: deep nesting, switch-like dense compare chains, the
+ * branch-melding diamonds of "Eliminate Branches by Melding IR
+ * Instructions", the recursion-unfolding call chains of Frühwirth's
+ * program-transformation work (TinyC inlines all calls, so an unfolded
+ * chain lowers to a deeply nested single function), and — at the IR
+ * level, since TinyC is structured — irreducible multi-entry loop
+ * regions.
+ *
+ * Emission invariants (what makes every generated program a valid
+ * differential-fuzz subject):
+ *
+ *  - No undefined behaviour in the simulator or the constant folder:
+ *    multiplication operands are masked (`% 8191`), shift amounts are
+ *    masked at the source level, and every variable/array write is
+ *    masked (`% 1048576`), so no value chain can reach signed-overflow
+ *    territory. Division/modulus by zero are defined (yield 0) in this
+ *    IR.
+ *  - All array accesses (reads *and* writes) are double-mod masked
+ *    into the declared region. Wild in-image accesses would alias the
+ *    register allocator's on-demand "spill" region, making compiled
+ *    output legitimately diverge from the unoptimized oracle.
+ *  - All loops are counter loops with a positive constant step and a
+ *    bound fixed at entry; `continue` is only emitted inside `for`
+ *    loops (whose step still runs). Termination survives
+ *    irreducible-edge injection because injected edges are fueled:
+ *    only the first few executions of the split branch divert into
+ *    the foreign loop, so the diversion is a bounded prefix and
+ *    control then follows the original structured flow. (Keeping the
+ *    original edge matters: outright retargeting can route a loop's
+ *    only exit path back into the new entry, looping forever even
+ *    though every cycle crosses a counter-loop latch.)
+ */
+
+#ifndef CHF_WORKLOADS_GENERATOR_H
+#define CHF_WORKLOADS_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace chf {
+
+/** Shape grammar for the generator: program size, CFG mix, patterns. */
+struct GeneratorShape
+{
+    /** Helper functions (inlined by the front end); `funcs:` key. */
+    int helperFunctions = 2;
+
+    /** Top-level statement regions in main (program size). */
+    int regions = 3;
+
+    /** Maximum statement nesting depth. */
+    int maxDepth = 3;
+
+    /** Maximum expression nesting depth (capped at 4: UB headroom). */
+    int exprDepth = 3;
+
+    /** Maximum loop trip count. */
+    int maxLoopTrip = 5;
+
+    /** Maximum statements per block. */
+    int stmtsMax = 3;
+
+    /** Branch-shape mix, in percent (normalized if they exceed 100). */
+    int switchPct = 15;   ///< dense if/else-if compare chain on one selector
+    int diamondPct = 35;  ///< if/else
+    int trianglePct = 30; ///< if without else
+    int hammockPct = 20;  ///< if/else with nested control flow inside an arm
+
+    /** Of diamonds, percent with same-op meldable arms. */
+    int meldPct = 30;
+
+    /** Arms per switch-like chain. */
+    int switchCases = 4;
+
+    /** Recursion-unfolding chain length (0 = none; capped at 12). */
+    int unfoldDepth = 0;
+
+    /** Irreducible loop-entry edges injected post-lowering. */
+    int irreducibleEdges = 0;
+
+    /** Parameters of main (the reference input vector length). */
+    int mainParams = 2;
+
+    /** Clamp every field into its supported range. */
+    void clamp();
+
+    bool operator==(const GeneratorShape &other) const = default;
+};
+
+/**
+ * Named presets: "default", "tiny", "deep", "wide", "switchy",
+ * "melded", "unfold", "irreducible", "bench". Fatal-free: returns
+ * false and leaves @p out untouched on an unknown name.
+ */
+bool namedShape(const std::string &name, GeneratorShape *out);
+
+/** Names accepted by namedShape, in documentation order. */
+const std::vector<std::string> &shapeNames();
+
+/**
+ * Parse a generator spec: comma-separated `key:value` pairs. Keys:
+ * seed, shape (preset name, applied before all other keys regardless
+ * of position), funcs, regions, depth, expr, trip, stmts, switch,
+ * diamond, triangle, hammock, meld, cases, unfold, irr, params.
+ * On error returns false and fills @p err.
+ */
+bool parseGenSpec(const std::string &spec, uint64_t *seed,
+                  GeneratorShape *shape, std::string *err);
+
+/**
+ * Print the fully explicit spec (every key, no preset) so that
+ * parseGenSpec round-trips to exactly (seed, shape). This string is
+ * the canonical fuzz-failure reproducer.
+ */
+std::string genSpecString(uint64_t seed, const GeneratorShape &shape);
+
+/** One generated program plus its reference input vector. */
+struct GeneratedProgram
+{
+    uint64_t seed = 0;
+    GeneratorShape shape;
+
+    /** TinyC source the existing front end lowers. */
+    std::string source;
+
+    /** Reference arguments for main (deterministic, small). */
+    std::vector<int64_t> args;
+};
+
+/** Generate the program for (seed, shape). Deterministic and pure. */
+GeneratedProgram generateTinyC(uint64_t seed,
+                               const GeneratorShape &shape = {});
+
+/**
+ * Inject up to @p count irreducible edges into @p program: split an
+ * unpredicated branch on a fresh fuel counter so its first executions
+ * divert into the middle of a natural loop it does not belong to,
+ * creating a second loop entry, while later executions follow the
+ * original edge. The CFG becomes statically irreducible but stays
+ * dynamically terminating — the diversion is a bounded prefix, after
+ * which control follows the original structured flow. Deterministic
+ * in @p seed.
+ * @return edges actually injected (0 if the CFG has no candidates).
+ */
+int injectIrreducibleEdges(Program &program, uint64_t seed, int count);
+
+/**
+ * Front end + irreducible injection + reference args in one step.
+ * Throws RecoverableError if the front end rejects the source (which
+ * for generator output is a generator or front-end bug — the
+ * differential harness reports it as a failure with a repro line).
+ */
+Program buildGenerated(const GeneratedProgram &generated);
+
+} // namespace chf
+
+#endif // CHF_WORKLOADS_GENERATOR_H

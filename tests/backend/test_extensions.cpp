@@ -161,6 +161,46 @@ TEST(SplitBlockAt, RefusesTinyBlocks)
     EXPECT_EQ(splitBlockAt(p.fn, entry, 1), kNoBlock);
 }
 
+/**
+ * Splitting sinks every branch to the final part. A ret's VALUE
+ * operand must be snapshotted like its predicate: after register
+ * allocation one register carries different values at different
+ * points of a block, so `ret vR <p>; ...; mov vR = other` returns the
+ * wrong value if the sunk ret reads vR at its new position. Shrunk
+ * from a differential-fuzz reproducer (seed 392, switchy).
+ */
+TEST(SplitOversizedBlocks, SinkingRetPastRedefinitionKeepsItsValue)
+{
+    Function fn;
+    IRBuilder b(fn);
+    BlockId big = b.makeBlock();
+    fn.setEntry(big);
+    b.setBlock(big);
+    Vreg v = b.constant(7);
+    Vreg p = b.constant(1);
+    fn.block(big)->append(
+        Instruction::ret(IRBuilder::r(v), Predicate::onReg(p, true)));
+    fn.block(big)->append(
+        Instruction::ret(IRBuilder::imm(0),
+                         Predicate::onReg(p, false)));
+    b.movTo(v, IRBuilder::imm(99)); // EDGE-atomic tail redefinition
+    for (int i = 0; i < 12; ++i)
+        b.constant(i);
+
+    Program before;
+    before.fn = fn.clone();
+    ASSERT_EQ(runFunctional(before).returnValue, 7);
+
+    TripsConstraints tight;
+    tight.maxInsts = 8;
+    ASSERT_GT(splitOversizedBlocks(fn, tight), 0u);
+    EXPECT_TRUE(verify(fn).empty());
+
+    Program after;
+    after.fn = std::move(fn);
+    EXPECT_EQ(runFunctional(after).returnValue, 7);
+}
+
 // ----- Basic-block splitting in the merge engine -----
 
 TEST(BlockSplittingMerge, MergesFirstPieceOfHugeSuccessor)

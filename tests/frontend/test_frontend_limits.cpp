@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Front-end resource limits, pinned by fuzzing (docs/testing.md).
+ *
+ * Degenerate inputs the differential fuzzer's shrinker produced used
+ * to crash the front end instead of raising a RecoverableError: an
+ * out-of-range integer literal escaped as an uncaught std::out_of_range
+ * from std::stoll, and deeply nested statements/expressions overflowed
+ * the parser's recursion stack. Both must surface as ordinary input
+ * diagnostics — a fuzzer (or a user) feeding the compiler garbage must
+ * get a located error, never a signal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "frontend/parser.h"
+#include "support/diagnostics.h"
+
+namespace chf {
+namespace {
+
+std::string
+diagnosticFor(const std::string &source)
+{
+    try {
+        parseTinyC(source);
+    } catch (const RecoverableError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST(FrontendLimits, HugeIntegerLiteralIsARecoverableError)
+{
+    // 21 digits: one past what int64 holds. Previously an uncaught
+    // std::out_of_range from std::stoll.
+    std::string diag =
+        diagnosticFor("int main() { return 999999999999999999999; }");
+    EXPECT_NE(diag.find("lex"), std::string::npos) << diag;
+    EXPECT_NE(diag.find("integer literal out of range"),
+              std::string::npos)
+        << diag;
+}
+
+TEST(FrontendLimits, MaxInt64LiteralStillLexes)
+{
+    // The guard must reject only what stoll rejects: INT64_MAX is a
+    // legal literal.
+    EXPECT_NO_THROW(
+        parseTinyC("int main() { return 9223372036854775807; }"));
+}
+
+TEST(FrontendLimits, DeepExpressionNestingIsARecoverableError)
+{
+    // 5000 nested parens used to overflow the parser's stack.
+    std::string source = "int main() { return ";
+    source += std::string(5000, '(');
+    source += "1";
+    source += std::string(5000, ')');
+    source += "; }";
+    std::string diag = diagnosticFor(source);
+    EXPECT_NE(diag.find("parse"), std::string::npos) << diag;
+    EXPECT_NE(diag.find("nesting too deep"), std::string::npos) << diag;
+}
+
+TEST(FrontendLimits, DeepStatementNestingIsARecoverableError)
+{
+    // 5000 nested blocks: same recursion, statement flavor.
+    std::string source = "int main() { ";
+    for (int i = 0; i < 5000; ++i)
+        source += "{ ";
+    source += "int x = 1; ";
+    for (int i = 0; i < 5000; ++i)
+        source += "} ";
+    source += "return 0; }";
+    std::string diag = diagnosticFor(source);
+    EXPECT_NE(diag.find("parse"), std::string::npos) << diag;
+    EXPECT_NE(diag.find("nesting too deep"), std::string::npos) << diag;
+}
+
+TEST(FrontendLimits, ModerateNestingStillParses)
+{
+    // The depth limit must sit far above anything legitimate — the
+    // generator's "deep" preset tops out well under 100 levels.
+    std::string source = "int main() { return ";
+    source += std::string(100, '(');
+    source += "1";
+    source += std::string(100, ')');
+    source += "; }";
+    EXPECT_NO_THROW(parseTinyC(source));
+
+    std::string blocks = "int main() { ";
+    for (int i = 0; i < 100; ++i)
+        blocks += "{ ";
+    blocks += "int x = 1; ";
+    for (int i = 0; i < 100; ++i)
+        blocks += "} ";
+    blocks += "return 0; }";
+    EXPECT_NO_THROW(parseTinyC(blocks));
+}
+
+} // namespace
+} // namespace chf
