@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Compile-service throughput: drive an in-process CompileServer with a
+ * replay campaign and measure cold (every request compiles) versus
+ * warm (the LRU compile cache absorbs repeats) requests per second,
+ * plus the campaign cache hit rate. Written to
+ * BENCH_server_throughput.json for trajectory tracking.
+ *
+ * The campaign is the same shape scripts/check_server.sh replays over
+ * a unix socket: kDistinct distinct generated programs, requested
+ * round-robin until kTotal requests have been served. The first pass
+ * over the distinct set is the cold phase; every later request is a
+ * cache hit. In-process measurement deliberately excludes socket
+ * transport cost — the bench tracks the service, not the kernel.
+ *
+ * Run: ./server_throughput [--clients=N] [--total=N] [--distinct=N]
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/server.h"
+#include "support/timer.h"
+
+using namespace chf;
+
+namespace {
+
+std::string
+genRequest(int seed)
+{
+    std::ostringstream os;
+    os << "{\"op\":\"compile\",\"gen\":\"seed:" << seed
+       << ",shape:bench\"}";
+    return os.str();
+}
+
+/**
+ * Serve @p requests across @p clients threads pulling from a shared
+ * index (the transport-thread shape chf_serve uses). Returns wall
+ * time; counts non-"ok" responses into @p bad.
+ */
+int64_t
+drive(CompileServer &server, const std::vector<std::string> &requests,
+      int clients, size_t *bad)
+{
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> failures{0};
+    Timer wall;
+    auto worker = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1);
+            if (i >= requests.size())
+                break;
+            std::string response = server.handle(requests[i]);
+            if (response.find("\"status\":\"ok\"") == std::string::npos)
+                failures.fetch_add(1);
+        }
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < clients; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &t : threads)
+        t.join();
+    *bad += failures.load();
+    return wall.elapsedMicros();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int clients = 4;
+    size_t total = 500;
+    size_t distinct = 50;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--clients=", 10) == 0)
+            clients = std::atoi(argv[i] + 10);
+        else if (std::strncmp(argv[i], "--total=", 8) == 0)
+            total = static_cast<size_t>(std::atoll(argv[i] + 8));
+        else if (std::strncmp(argv[i], "--distinct=", 11) == 0)
+            distinct = static_cast<size_t>(std::atoll(argv[i] + 11));
+    }
+    if (distinct == 0 || total < distinct) {
+        std::fprintf(stderr, "want --total >= --distinct >= 1\n");
+        return 1;
+    }
+
+    ServerOptions opts;
+    opts.maxInFlight = clients; // measure throughput, not shedding
+    opts.cacheCapacity = distinct * 2;
+    CompileServer server(opts);
+
+    std::vector<std::string> cold;
+    for (size_t i = 0; i < distinct; ++i)
+        cold.push_back(genRequest(static_cast<int>(i) + 1));
+    std::vector<std::string> warm;
+    for (size_t i = 0; i < total - distinct; ++i)
+        warm.push_back(
+            genRequest(static_cast<int>(i % distinct) + 1));
+
+    size_t bad = 0;
+    int64_t cold_us = drive(server, cold, clients, &bad);
+    int64_t warm_us = drive(server, warm, clients, &bad);
+    ServerStats stats = server.stats();
+
+    double cold_rps =
+        cold_us > 0 ? 1e6 * static_cast<double>(cold.size()) /
+                          static_cast<double>(cold_us)
+                    : 0.0;
+    double warm_rps =
+        warm_us > 0 ? 1e6 * static_cast<double>(warm.size()) /
+                          static_cast<double>(warm_us)
+                    : 0.0;
+    double hit_rate =
+        stats.requests > 0
+            ? static_cast<double>(stats.cacheHits) /
+                  static_cast<double>(stats.requests)
+            : 0.0;
+
+    std::ostringstream os;
+    os << "{\n  \"bench\": \"server_throughput\",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"clients\": " << clients << ",\n"
+       << "  \"requests_total\": " << total << ",\n"
+       << "  \"requests_distinct\": " << distinct << ",\n"
+       << "  \"cold\": {\"requests\": " << cold.size()
+       << ", \"wall_us\": " << cold_us
+       << ", \"requests_per_sec\": " << cold_rps << "},\n"
+       << "  \"warm\": {\"requests\": " << warm.size()
+       << ", \"wall_us\": " << warm_us
+       << ", \"requests_per_sec\": " << warm_rps << "},\n"
+       << "  \"cache_hits\": " << stats.cacheHits << ",\n"
+       << "  \"cache_hit_rate\": " << hit_rate << ",\n"
+       << "  \"compiled\": " << stats.compiled << ",\n"
+       << "  \"bad_responses\": " << bad << "\n}\n";
+    std::ofstream f("BENCH_server_throughput.json");
+    f << os.str();
+    std::fputs(os.str().c_str(), stderr);
+    std::fprintf(stderr, "wrote BENCH_server_throughput.json\n");
+    return bad == 0 ? 0 : 1;
+}

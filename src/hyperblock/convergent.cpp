@@ -117,8 +117,14 @@ expandBlock(MergeEngine &engine, Policy &policy, BlockId seed,
     uint64_t cached_epoch = 0;
     bool cache_valid = false;
 
+    // Cancellation poll (DESIGN.md §12): one acquire load per merge
+    // round — between rounds the CFG is structurally consistent, so
+    // the CancelledError this may raise is rollback-safe.
+    const CancellationToken &cancel = engine.options().cancel;
+
     size_t merges = 0;
     while (!pending.empty() && merges < max_merges) {
+        cancel.throwIfCancelled();
         if (!fast || !cache_valid ||
             cached_epoch != engine.mutationEpoch()) {
             candidates = describeCandidates(engine, seed, pending);
@@ -254,6 +260,9 @@ formHyperblocks(Function &fn, Policy &policy,
     for (BlockId seed : seeds) {
         if (!fn.block(seed))
             continue;
+        // Between seeds the function is consistent; a deadline that
+        // trips here aborts the unit before the next expansion starts.
+        options.merge.cancel.throwIfCancelled();
         if (!guarded) {
             expandBlock(engine, policy, seed, options.maxMergesPerBlock);
             continue;

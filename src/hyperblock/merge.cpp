@@ -921,6 +921,17 @@ MergeEngine::tryMergeRound(
             const TrialPlan *plan = &plans[i];
             TrialResult *out = &results[i];
             group.spawn([this, pool, plan, &liveness, out] {
+                // Publish the owning unit's token on this pool worker
+                // and poll it before paying for the trial; a trip is
+                // recorded as the task's error and rethrown at the
+                // trial's exact serial position on the compiling
+                // thread (DESIGN.md §12).
+                CancellationScope cancel_scope(opts.cancel);
+                if (opts.cancel.cancelled()) {
+                    out->error = std::make_exception_ptr(
+                        CancelledError(opts.cancel.kind()));
+                    return;
+                }
                 TrialScratch &scratch =
                     *specArenas[pool->currentWorkerIndex()];
                 try {

@@ -77,6 +77,7 @@
 
 #include "analysis/analysis_manager.h"
 #include "hyperblock/constraints.h"
+#include "support/cancellation.h"
 #include "support/stats.h"
 #include "transform/if_convert.h"
 #include "transform/optimize.h"
@@ -126,6 +127,15 @@ struct MergeOptions
 
     /** Record every tryMerge attempt in MergeEngine::trace(). */
     bool recordMergeTrace = false;
+
+    /**
+     * Cooperative cancellation (DESIGN.md §12): polled once per merge
+     * round in expandBlock and at the start of every speculative trial
+     * task, throwing CancelledError when tripped so a deadline bounds
+     * even pathological formation loops. A default (null) token never
+     * cancels and the polls compile down to an untaken branch.
+     */
+    CancellationToken cancel;
 
     /**
      * Speculative parallel trial formation: when the engine runs on a

@@ -264,6 +264,7 @@ detail::compileUnit(Program &program, const ProfileData &profile,
     merge.enableBlockSplitting = options.blockSplitting;
     merge.parallelTrials = options.parallelTrials;
     merge.useTrialCache = options.useTrialCache;
+    merge.cancel = options.cancel;
 
     FormationOptions formation;
     formation.merge = merge;
@@ -275,8 +276,16 @@ detail::compileUnit(Program &program, const ProfileData &profile,
     formation.keepGoing = guarded;
     formation.diags = guarded ? options.diags : nullptr;
 
+    // Phase-boundary cancellation poll (DESIGN.md §12): between phases
+    // the function is always consistent, so this is the cheapest safe
+    // point to honor a deadline. A null token (the default) makes
+    // every poll an untaken branch.
+    auto poll_cancel = [&] { options.cancel.throwIfCancelled(); };
+    poll_cancel();
+
     auto run_phase = [&](const char *name,
                          const std::function<void()> &body) -> bool {
+        poll_cancel();
         bool ok = runGuarded(fn, name, *options.diags, [&] {
             body();
             faultInjectionPoint(name, fn);
@@ -293,6 +302,7 @@ detail::compileUnit(Program &program, const ProfileData &profile,
     // the engine's own per-seed guards), so a failure degrades to the
     // pre-formation CFG; stats are merged only if the stage survives.
     auto formation_stage = [&] {
+        poll_cancel();
         ScopedStatTimer t(result.stats, "usFormation");
         StatSet formed_stats;
         auto body = [&] {
@@ -359,6 +369,8 @@ detail::compileUnit(Program &program, const ProfileData &profile,
 
     if (!guarded && options.verifyStages)
         verifyOrDie(fn, "hyperblock formation");
+
+    poll_cancel();
 
     if (options.runBackend && !guarded) {
         ScopedStatTimer t(result.stats, "usBackend");

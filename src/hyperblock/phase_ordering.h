@@ -31,6 +31,7 @@
 #include "analysis/profile.h"
 #include "hyperblock/convergent.h"
 #include "ir/program.h"
+#include "support/cancellation.h"
 #include "support/diagnostics.h"
 
 namespace chf {
@@ -97,6 +98,17 @@ struct CompileOptions
 
     /** Failure sink for keepGoing mode; required when keepGoing. */
     DiagnosticEngine *diags = nullptr;
+
+    /**
+     * Cooperative cancellation token (DESIGN.md §12), polled at every
+     * phase boundary and threaded into formation's merge-round loop.
+     * When it trips, compileUnit aborts with CancelledError — the
+     * Session turns that into a timeout/deadline/cancelled diagnostic
+     * and marks the unit degraded. The default null token never
+     * cancels; Session only binds a real one when a deadline or unit
+     * timeout is configured (and CHF_DEADLINE is not 0).
+     */
+    CancellationToken cancel;
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "support/diagnostics.h"
@@ -83,9 +84,17 @@ class LineScanner
                std::isdigit(static_cast<unsigned char>(text[pos]))) {
             ++pos;
         }
-        if (start == pos)
+        // A lone '-' advances pos past start, so the emptiness check
+        // above does not catch it; stoll would throw invalid_argument
+        // (and out_of_range on a huge literal) straight through the
+        // parser. Both are input errors, not crashes.
+        try {
+            return std::stoll(text.substr(start, pos - start));
+        } catch (const std::invalid_argument &) {
             fail("expected an integer");
-        return std::stoll(text.substr(start, pos - start));
+        } catch (const std::out_of_range &) {
+            fail("integer literal out of range");
+        }
     }
 
     char
@@ -108,6 +117,23 @@ class LineScanner
     size_t pos = 0;
     int lineNo;
 };
+
+/**
+ * "bbN" word -> N. stoul on a huge id would throw out_of_range
+ * straight through the parser; like integer(), that is an input
+ * error, not a crash.
+ */
+BlockId
+blockIdFromWord(const std::string &bb, LineScanner &scanner)
+{
+    try {
+        return static_cast<BlockId>(std::stoul(bb.substr(2)));
+    } catch (const std::invalid_argument &) {
+        scanner.fail(concat("expected a block id in '", bb, "'"));
+    } catch (const std::out_of_range &) {
+        scanner.fail(concat("block id out of range in '", bb, "'"));
+    }
+}
 
 /** Opcode by printed mnemonic. */
 Opcode
@@ -148,7 +174,7 @@ parseFunctionIRImpl(const std::string &text)
         std::string bb = scanner.word();
         if (bb.rfind("bb", 0) != 0)
             scanner.fail("expected a bbN entry id");
-        entry = static_cast<BlockId>(std::stoul(bb.substr(2)));
+        entry = blockIdFromWord(bb, scanner);
         // Optional "args=v0,v1,...".
         if (!scanner.done()) {
             if (scanner.word() != "args")
@@ -193,7 +219,7 @@ parseFunctionIRImpl(const std::string &text)
         std::string bb = scanner.word();
         if (bb.rfind("bb", 0) != 0)
             scanner.fail("expected (bbN, ...)");
-        block.id = static_cast<BlockId>(std::stoul(bb.substr(2)));
+        block.id = blockIdFromWord(bb, scanner);
         raw.push_back(std::move(block));
     }
 
@@ -247,8 +273,7 @@ parseFunctionIRImpl(const std::string &text)
                 std::string bb_word = scanner.word();
                 if (bb_word.rfind("bb", 0) != 0)
                     scanner.fail("expected a branch target");
-                inst.target = static_cast<BlockId>(
-                    std::stoul(bb_word.substr(2)));
+                inst.target = blockIdFromWord(bb_word, scanner);
             } else if (opcodeHasDest(inst.op)) {
                 scanner.expect('v');
                 inst.dest = static_cast<Vreg>(scanner.integer());

@@ -2,6 +2,7 @@
 
 #include "ir/verifier.h"
 #include "pipeline/checkpoint.h"
+#include "support/cancellation.h"
 
 namespace chf {
 
@@ -23,6 +24,15 @@ runGuarded(Function &fn, const std::string &phase, DiagnosticEngine &diags,
             }
             failed = true;
         }
+    } catch (const CancelledError &) {
+        // Cancellation aborts the whole unit, not just this phase: roll
+        // the function back to a consistent state (so keep-going units
+        // degrade cleanly) and rethrow for the Session-level handler,
+        // which records the single deterministic timeout/cancelled
+        // diagnostic. No per-phase diagnostic here — which phase the
+        // poll happened to land in is schedule-dependent.
+        checkpoint.restore(fn, analyses);
+        throw;
     } catch (const RecoverableError &e) {
         Diagnostic d = e.diagnostic();
         if (d.phase.empty())

@@ -98,6 +98,37 @@ struct SessionOptions
     /** Armed on the process-wide FaultInjector when compile() starts. */
     std::optional<FaultSpec> faultSpec;
 
+    /**
+     * Whole-session deadline in milliseconds (0 = none), measured from
+     * compile() entry. Units still running when it expires abort at
+     * their next cancellation poll with a `deadline` diagnostic and
+     * degrade; finished units are untouched. Session-wide like threads
+     * and faultSpec — the field is ignored in per-unit overrides.
+     * Disabled entirely by CHF_DEADLINE=0.
+     */
+    int deadlineMs = 0;
+
+    /**
+     * Per-attempt time budget for each unit in milliseconds (0 =
+     * none). An attempt that exceeds it aborts with a `timeout`
+     * diagnostic and the unit degrades. Disabled by CHF_DEADLINE=0.
+     */
+    int unitTimeoutMs = 0;
+
+    /**
+     * Bounded retry: a degraded attempt (at least one rolled-back
+     * phase, keepGoing mode) is re-run up to this many extra times on
+     * a restored snapshot of the unit's program. Diagnostics from
+     * every attempt survive, in attempt order (DESIGN.md §9 stable
+     * sort); a unit whose final attempt is clean is not degraded.
+     * Timeout / deadline / cancelled aborts are not retried. Disabled
+     * by CHF_RETRY=0.
+     */
+    int retryAttempts = 0;
+
+    /** Fixed sleep between retry attempts, in milliseconds. */
+    int retryBackoffMs = 0;
+
     SessionOptions &withPipeline(Pipeline p) { pipeline = p; return *this; }
     SessionOptions &withPolicy(PolicyKind k) { policy = k; return *this; }
 
@@ -147,6 +178,23 @@ struct SessionOptions
         faultSpec = spec;
         return *this;
     }
+
+    SessionOptions &withDeadline(int ms) { deadlineMs = ms; return *this; }
+
+    SessionOptions &
+    withUnitTimeout(int ms)
+    {
+        unitTimeoutMs = ms;
+        return *this;
+    }
+
+    SessionOptions &
+    withRetry(int attempts, int backoff_ms = 0)
+    {
+        retryAttempts = attempts;
+        retryBackoffMs = backoff_ms;
+        return *this;
+    }
 };
 
 /** Per-unit outcome: what one function's compile produced. */
@@ -164,8 +212,13 @@ struct FunctionResult
     /** m/t/u/p counters, backend numbers, usXxx phase timers. */
     StatSet stats;
 
-    /** Phases rolled back in keepGoing mode (empty on a clean run). */
+    /** Phases rolled back in keepGoing mode (empty on a clean run).
+     *  A cancelled unit records the cancel kind ("timeout",
+     *  "deadline", "cancelled") as its failed phase. */
     std::vector<std::string> failedPhases;
+
+    /** Compile attempts consumed (1 unless bounded retry re-ran it). */
+    int attempts = 1;
 
     bool degraded() const { return !failedPhases.empty(); }
 };

@@ -1,7 +1,10 @@
 #include "support/fault_inject.h"
 
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
+#include "support/cancellation.h"
 #include "support/diagnostics.h"
 
 namespace chf {
@@ -59,9 +62,34 @@ parseFaultSpec(const std::string &text, FaultSpec *out, std::string *err)
                 spec.kind = FaultSpec::Kind::CorruptIr;
             } else if (value == "throw") {
                 spec.kind = FaultSpec::Kind::Throw;
+            } else if (value.rfind("stall:", 0) == 0) {
+                char *end = nullptr;
+                long ms = std::strtol(value.c_str() + 6, &end, 10);
+                if (end == value.c_str() + 6 || *end != '\0' || ms < 0) {
+                    *err = concat("bad stall duration in '", value,
+                                  "' (want stall:<ms>)");
+                    return false;
+                }
+                spec.kind = FaultSpec::Kind::Stall;
+                spec.stallMs = static_cast<int>(ms);
+            } else if (value == "transient" ||
+                       value.rfind("transient:", 0) == 0) {
+                spec.kind = FaultSpec::Kind::Transient;
+                if (value.size() > 9 && value[9] == ':') {
+                    char *end = nullptr;
+                    long k = std::strtol(value.c_str() + 10, &end, 10);
+                    if (end == value.c_str() + 10 || *end != '\0' ||
+                        k < 1) {
+                        *err = concat("bad transient count in '", value,
+                                      "' (want transient:<k>, k >= 1)");
+                        return false;
+                    }
+                    spec.transientFailures = static_cast<int>(k);
+                }
             } else {
                 *err = concat("unknown fault kind '", value,
-                              "' (want corrupt-ir or throw)");
+                              "' (want corrupt-ir, throw, stall:<ms>, "
+                              "or transient[:<k>])");
                 return false;
             }
         } else {
@@ -101,6 +129,7 @@ FaultInjector::arm(const FaultSpec &new_spec)
     isArmed = true;
     seen = 0;
     fired = 0;
+    lastTransientAttempt = -1;
     lastFiredSite.clear();
 }
 
@@ -111,6 +140,7 @@ FaultInjector::disarm()
     isArmed = false;
     seen = 0;
     fired = 0;
+    lastTransientAttempt = -1;
     lastFiredSite.clear();
 }
 
@@ -159,41 +189,115 @@ FaultUnitScope::current()
     return current_fault_unit;
 }
 
+namespace {
+
+/** Retry attempt the current thread is running (0 outside a scope). */
+thread_local int current_fault_attempt = 0;
+
+} // namespace
+
+FaultAttemptScope::FaultAttemptScope(int attempt)
+    : previous(current_fault_attempt)
+{
+    current_fault_attempt = attempt;
+}
+
+FaultAttemptScope::~FaultAttemptScope()
+{
+    current_fault_attempt = previous;
+}
+
+int
+FaultAttemptScope::current()
+{
+    return current_fault_attempt;
+}
+
 void
 FaultInjector::hook(const char *phase, Function &fn)
 {
-    std::lock_guard<std::mutex> lock(mutex);
-    if (!isArmed)
-        return;
-    // At most one firing per arm(), whatever the matching mode: the
-    // same phase name can appear both outside a session (prepare's
-    // "unroll" transaction) and inside one, and must not fire twice.
-    if (fired > 0)
-        return;
-    if (!spec.phase.empty() && spec.phase != phase)
-        return;
+    FaultSpec::Kind kind;
+    int stall_ms = 0;
+    std::string site;
 
-    int unit = FaultUnitScope::current();
-    if (unit >= 0) {
-        // Session mode: fn:<n> names the unit, so the decision depends
-        // only on which unit this thread is compiling — identical at
-        // any thread count.
-        if (unit != spec.occurrence)
+    // Decide-then-act: the match decision and counter updates happen
+    // under the mutex, but the fault itself executes outside it — a
+    // stalled unit sleeping seconds inside the hook must not serialize
+    // every other unit's armed()/hook() calls.
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!isArmed)
             return;
-    } else {
-        // Legacy mode: n-th matching hook firing, in program order.
-        if (seen++ != spec.occurrence)
+        // At most one firing per arm(), whatever the matching mode:
+        // the same phase name can appear both outside a session
+        // (prepare's "unroll" transaction) and inside one, and must
+        // not fire twice. Transient is the exception — it fires once
+        // per *attempt* for the first transientFailures attempts, so
+        // a retried unit re-encounters it deterministically.
+        const bool transient = spec.kind == FaultSpec::Kind::Transient;
+        if (fired > 0 && !transient)
             return;
+        if (!spec.phase.empty() && spec.phase != phase)
+            return;
+
+        int unit = FaultUnitScope::current();
+        if (unit >= 0) {
+            // Session mode: fn:<n> names the unit, so the decision
+            // depends only on which unit this thread is compiling —
+            // identical at any thread count.
+            if (unit != spec.occurrence)
+                return;
+        } else {
+            // Legacy mode: n-th matching hook firing, in program order.
+            // A transient retry replays the same hooks, so the counter
+            // only advances on fresh (attempt-0) passes.
+            if (transient && FaultAttemptScope::current() > 0) {
+                // fall through to the attempt check below
+            } else if (seen++ != spec.occurrence) {
+                return;
+            }
+        }
+
+        if (transient) {
+            const int attempt = FaultAttemptScope::current();
+            if (attempt >= spec.transientFailures)
+                return; // attempt survived: the fault was transient
+            if (attempt == lastTransientAttempt)
+                return; // already fired on this attempt
+            lastTransientAttempt = attempt;
+        }
+
+        ++fired;
+        lastFiredSite = concat(phase, "#", spec.occurrence);
+        kind = spec.kind;
+        stall_ms = spec.stallMs;
+        site = lastFiredSite;
     }
 
-    ++fired;
-    lastFiredSite = concat(phase, "#", spec.occurrence);
-
-    if (spec.kind == FaultSpec::Kind::Throw) {
-        Diagnostic d = Diagnostic::error(
-            phase, concat("injected fault (throw) at ", lastFiredSite));
+    if (kind == FaultSpec::Kind::Throw ||
+        kind == FaultSpec::Kind::Transient) {
+        const char *what = kind == FaultSpec::Kind::Throw
+                               ? "injected fault (throw) at "
+                               : "injected transient fault at ";
+        Diagnostic d = Diagnostic::error(phase, concat(what, site));
         d.function = fn.name();
         throw RecoverableError(std::move(d));
+    }
+
+    if (kind == FaultSpec::Kind::Stall) {
+        // Sleep the budget in small slices, polling the unit's
+        // cancellation token: with a watchdog armed the stall aborts
+        // within one slice of the timeout; without one it just sleeps
+        // the full budget and the phase continues normally.
+        const CancellationToken token = CancellationToken::current();
+        const auto end = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(stall_ms);
+        while (std::chrono::steady_clock::now() < end) {
+            token.throwIfCancelled();
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        token.throwIfCancelled();
+        return;
     }
 
     // corrupt-ir: empty out the last live block. An empty block is a

@@ -13,13 +13,27 @@
  *
  * Spec grammar (flag --fault=... / env CHF_FAULT=...):
  *
- *   phase:<name>,fn:<n>,kind:<corrupt-ir|throw>
+ *   phase:<name>,fn:<n>,kind:<corrupt-ir|throw|stall:<ms>|transient[:<k>]>
  *
  * where <name> is one of the guarded phase names (unroll, peel,
  * formation, formation-seed, fanout, regalloc, schedule, or "any"),
  * fn:<n> selects where the fault fires, and kind selects the fault.
  * "occ" is accepted as an alias for "fn". Fields may appear in any
  * order; phase defaults to "any", fn to 0, kind to throw.
+ *
+ * Two kinds exercise the service-hardening layer (DESIGN.md §12):
+ *
+ *  - stall:<ms> sleeps up to <ms> milliseconds inside the phase,
+ *    polling CancellationToken::current() in small slices — a unit
+ *    timeout trips the token and the stall aborts promptly with
+ *    CancelledError, proving the watchdog path; without a deadline it
+ *    just sleeps the full budget and the compile succeeds.
+ *  - transient[:<k>] throws RecoverableError, but only on the first
+ *    <k> attempts (default 1) of the unit as published by
+ *    FaultAttemptScope — a session with retry enabled recovers on the
+ *    next attempt, proving the retry path. Unlike the other kinds,
+ *    transient may fire once per *attempt* (up to <k> times per arm),
+ *    so bounded-retry exhaustion is testable with k > retry count.
  *
  * Matching is thread-safe and deterministic under parallel sessions.
  * Inside a Session each worker publishes the index of the unit it is
@@ -49,6 +63,9 @@ struct FaultSpec
     {
         CorruptIr, ///< mutate the IR so verify() must fail
         Throw,     ///< throw RecoverableError from the hook
+        Stall,     ///< sleep stallMs inside the phase (cancellable)
+        Transient, ///< throw, but only on the first transientFailures
+                   ///< attempts (exercises Session retry)
     };
 
     /** Guarded phase name; empty matches any phase. */
@@ -58,6 +75,12 @@ struct FaultSpec
     int occurrence = 0;
 
     Kind kind = Kind::Throw;
+
+    /** Sleep budget for Kind::Stall, milliseconds. */
+    int stallMs = 0;
+
+    /** Attempts that fail for Kind::Transient (attempt >= k succeeds). */
+    int transientFailures = 1;
 };
 
 /**
@@ -106,7 +129,30 @@ class FaultInjector
     FaultSpec spec;
     int seen = 0;
     size_t fired = 0;
+    int lastTransientAttempt = -1; ///< attempt Transient last fired on
     std::string lastFiredSite;
+};
+
+/**
+ * RAII: tells the fault injector which retry attempt (0-based) of a
+ * unit the current thread is running, so Kind::Transient can fail the
+ * first k attempts and succeed afterwards. Session establishes one
+ * scope per attempt; outside any scope the attempt is 0.
+ */
+class FaultAttemptScope
+{
+  public:
+    explicit FaultAttemptScope(int attempt);
+    ~FaultAttemptScope();
+
+    FaultAttemptScope(const FaultAttemptScope &) = delete;
+    FaultAttemptScope &operator=(const FaultAttemptScope &) = delete;
+
+    /** Attempt published by the innermost scope (0 if none). */
+    static int current();
+
+  private:
+    int previous;
 };
 
 /**

@@ -1,6 +1,8 @@
 #include "workloads/generator.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <map>
 #include <sstream>
@@ -744,11 +746,23 @@ parseGenSpec(const std::string &spec, uint64_t *seed,
         if (key == "shape")
             continue;
         char *end = nullptr;
+        errno = 0;
         long long num = std::strtoll(value.c_str(), &end, 10);
         if (end == value.c_str() || *end != '\0') {
             if (err)
                 *err = "bad number '" + value + "' for key '" + key +
                        "'";
+            return false;
+        }
+        // strtoll saturates at LLONG_MIN/MAX with ERANGE; a saturated
+        // seed would silently change which program the spec names, and
+        // a shape value outside int range would wrap in the cast
+        // below. Both are spec errors, reported like any other.
+        if (errno == ERANGE ||
+            (key != "seed" && (num < INT_MIN || num > INT_MAX))) {
+            if (err)
+                *err = "number out of range '" + value + "' for key '" +
+                       key + "'";
             return false;
         }
         int v = static_cast<int>(num);

@@ -88,6 +88,48 @@ TEST(IrParser, RejectsGarbage)
                 "ir-parse: 2:1: instruction before any block");
 }
 
+TEST(IrParser, IntegerCrashClassIsRecoverable)
+{
+    // Regression: these used to escape as uncaught std::out_of_range /
+    // std::invalid_argument from stoll/stoul and kill the process. All
+    // must surface as ir-parse diagnostics with a location instead.
+    DiagnosticEngine imm_diags;
+    std::optional<Function> imm = parseFunctionIR(
+        "function f entry=bb0\n"
+        "blk (bb0, 1 insts):\n"
+        "  add v0 = #99999999999999999999, v1\n",
+        imm_diags);
+    EXPECT_FALSE(imm.has_value());
+    ASSERT_EQ(imm_diags.errorCount(), 1u);
+    EXPECT_EQ(imm_diags.diagnostics().front().phase, "ir-parse");
+    EXPECT_NE(imm_diags.diagnostics().front().message.find(
+                  "integer literal out of range"),
+              std::string::npos);
+    EXPECT_EQ(imm_diags.diagnostics().front().loc.line, 3);
+
+    DiagnosticEngine dash_diags;
+    std::optional<Function> dash = parseFunctionIR(
+        "function f entry=bb0\n"
+        "blk (bb0, 1 insts):\n"
+        "  add v0 = #-, v1\n",
+        dash_diags);
+    EXPECT_FALSE(dash.has_value());
+    ASSERT_EQ(dash_diags.errorCount(), 1u);
+    EXPECT_NE(dash_diags.diagnostics().front().message.find(
+                  "expected an integer"),
+              std::string::npos);
+
+    DiagnosticEngine blk_diags;
+    std::optional<Function> blk = parseFunctionIR(
+        "function f entry=bb99999999999999999999\n",
+        blk_diags);
+    EXPECT_FALSE(blk.has_value());
+    ASSERT_EQ(blk_diags.errorCount(), 1u);
+    EXPECT_NE(blk_diags.diagnostics().front().message.find(
+                  "block id out of range"),
+              std::string::npos);
+}
+
 TEST(IrParser, CollectsParseErrorAsDiagnostic)
 {
     DiagnosticEngine diags;

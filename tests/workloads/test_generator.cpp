@@ -134,6 +134,23 @@ TEST(GeneratorSpec, RejectsMalformedSpecs)
     }
 }
 
+TEST(GeneratorSpec, RejectsOutOfRangeNumbers)
+{
+    // Regression: strtoll saturates with ERANGE (silently renaming the
+    // seed's program) and shape values wider than int wrapped in the
+    // cast. Both must be spec errors, not silent misbehavior.
+    uint64_t seed = 0;
+    GeneratorShape shape;
+    std::string err;
+    for (const char *bad : {"seed:99999999999999999999",
+                            "seed:1,regions:4294967296",
+                            "seed:1,trip:-99999999999999999999"}) {
+        err.clear();
+        EXPECT_FALSE(parseGenSpec(bad, &seed, &shape, &err)) << bad;
+        EXPECT_NE(err.find("out of range"), std::string::npos) << bad;
+    }
+}
+
 TEST(GeneratorLowering, EveryPresetLowersAndTerminates)
 {
     // Each preset's seed-1 program must survive the front end and the
