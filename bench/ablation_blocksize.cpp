@@ -44,7 +44,7 @@ main()
 
             SessionOptions options;
             options.pipeline = Pipeline::IUPO_fused;
-            options.constraints.maxInsts = max_insts;
+            options.target.maxInsts = max_insts;
             ConfigResult run =
                 measure(base, profile, options, oracle.returnValue,
                         oracle.memoryHash);

@@ -37,7 +37,7 @@ main()
                      "dynamic fill %", "predicated %",
                      "useful fetch %"});
 
-    TripsConstraints constraints;
+    TargetModel constraints;
     for (const auto &[label, pipeline] : configs) {
         double size = 0, sfill = 0, dfill = 0, pred = 0, useful = 0;
         size_t count = 0;

@@ -2,19 +2,26 @@
  * @file
  * Explore block-selection policies on any registered workload: compile
  * it under every heuristic and compare block counts, code growth,
- * misprediction rates, and cycles.
+ * misprediction rates, and cycles. With --tune, run the budget-governed
+ * AutoTuner instead and print the Pareto front over the policy ×
+ * target-knob space.
  *
  * Run: ./policy_explorer [workload-name]
  *      ./policy_explorer --list
+ *      ./policy_explorer --list-targets
+ *      ./policy_explorer --target=small-block [workload-name]
+ *      ./policy_explorer --tune [--threads=N] [workload-name]
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "pipeline/session.h"
 #include "sim/functional_sim.h"
 #include "sim/timing_sim.h"
 #include "support/table.h"
+#include "tuner/auto_tuner.h"
 #include "workloads/workloads.h"
 
 using namespace chf;
@@ -31,12 +38,100 @@ cloneProgram(const Program &program)
     return copy;
 }
 
+/** --tune mode: search policy × knob space, print the Pareto report. */
+int
+runTuner(const Workload &workload, const TargetModel &target,
+         int threads)
+{
+    Program base = buildWorkload(workload);
+    ProfileData profile = prepareProgram(base);
+
+    TunerOptions opts;
+    opts.baseTarget = target;
+    opts.maxInstsGrid = {target.maxInsts / 2, target.maxInsts,
+                         target.maxInsts * 2};
+    opts.spillHeadroomGrid = {target.spillHeadroom,
+                              target.spillHeadroom + 4};
+    opts.threads = threads;
+    TunerReport report = AutoTuner(opts).tune(base, profile);
+
+    std::printf("workload %s, base target %s: %zu candidates "
+                "(%zu dropped by budget)\n\n",
+                workload.name.c_str(), target.name.c_str(),
+                report.points.size(), report.truncated);
+
+    TextTable table;
+    table.setHeader({"candidate", "blocks", "code growth", "cycles",
+                     "pareto"});
+    for (size_t i = 0; i < report.points.size(); ++i) {
+        const TunerPoint &p = report.points[i];
+        table.addRow({p.label, std::to_string(p.blocks),
+                      TextTable::fmt(p.codeGrowth, 2),
+                      std::to_string(p.cycles),
+                      p.pareto ? (i == report.best ? "* best" : "*")
+                               : ""});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nbest: %s\n",
+                report.points[report.best].label.c_str());
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+    bool tune = false;
+    std::string target_name = "trips";
+    int threads = 1;
+    int argi = 1;
+    while (argi < argc && argv[argi][0] == '-') {
+        if (std::strcmp(argv[argi], "--list") == 0)
+            break; // handled below
+        if (std::strcmp(argv[argi], "--list-targets") == 0) {
+            for (const TargetModel &t : targetRegistry()) {
+                std::printf("  %-12s insts<=%zu mem<=%zu lsq=%zu "
+                            "banks=%zux%zur/%zuw regs=%zu headroom=%zu"
+                            "%s\n",
+                            t.name.c_str(), t.maxInsts, t.maxMemOps,
+                            t.lsqDepth, t.numRegBanks,
+                            t.maxReadsPerBank, t.maxWritesPerBank,
+                            t.numPhysRegs, t.spillHeadroom,
+                            t.maxBranches
+                                ? concat(" branches<=", t.maxBranches)
+                                      .c_str()
+                                : "");
+            }
+            return 0;
+        }
+        if (std::strcmp(argv[argi], "--tune") == 0) {
+            tune = true;
+        } else if (std::strncmp(argv[argi], "--target=", 9) == 0) {
+            target_name = argv[argi] + 9;
+        } else if (std::strncmp(argv[argi], "--threads=", 10) == 0) {
+            threads = std::atoi(argv[argi] + 10);
+            if (threads < 1) {
+                std::fprintf(stderr,
+                             "--threads wants a positive integer\n");
+                return 1;
+            }
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", argv[argi]);
+            return 1;
+        }
+        ++argi;
+    }
+
+    const TargetModel *target = findTarget(target_name);
+    if (!target) {
+        std::fprintf(stderr, "unknown target %s (known targets: %s)\n",
+                     target_name.c_str(),
+                     targetNamesJoined().c_str());
+        return 1;
+    }
+
+    if (argi < argc && std::strcmp(argv[argi], "--list") == 0) {
         std::printf("microbenchmarks:\n");
         for (const auto &w : microbenchmarks())
             std::printf("  %-16s %s\n", w.name.c_str(), w.note.c_str());
@@ -46,7 +141,7 @@ main(int argc, char **argv)
         return 0;
     }
 
-    const char *name = argc > 1 ? argv[1] : "bzip2_3";
+    const char *name = argi < argc ? argv[argi] : "bzip2_3";
     const Workload *workload = findWorkload(name);
     if (!workload) {
         std::fprintf(stderr,
@@ -54,7 +149,11 @@ main(int argc, char **argv)
         return 1;
     }
 
-    std::printf("workload %s: %s\n\n", workload->name.c_str(),
+    if (tune)
+        return runTuner(*workload, *target, threads);
+
+    std::printf("workload %s (target %s): %s\n\n",
+                workload->name.c_str(), target->name.c_str(),
                 workload->note.c_str());
 
     Program base = buildWorkload(*workload);
@@ -85,7 +184,8 @@ main(int argc, char **argv)
         session.addProgram(cloneProgram(base), profile, label,
                            SessionOptions()
                                .withPipeline(Pipeline::IUPO_fused)
-                               .withPolicy(policy));
+                               .withPolicy(policy)
+                               .withTarget(*target));
     }
     session.compile();
 

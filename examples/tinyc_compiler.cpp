@@ -20,6 +20,11 @@
  *                  is identical at any N; this driver has one unit, so
  *                  N mostly matters for batch drivers built on the
  *                  same Session API)
+ *   --target=NAME  compile for a registry target model ("trips",
+ *                  "trips-wide", "small-block", "deep-lsq"; default
+ *                  "trips"). Forwarded in the request in --server
+ *                  mode, where it participates in the server's
+ *                  compile-cache key.
  *   --gen=SPEC     compile a generated program instead of a file:
  *                  SPEC is the generator spec a fuzz failure prints
  *                  (seed:S,funcs:N,shape:X,...; see docs/testing.md)
@@ -121,6 +126,7 @@ main(int argc, char **argv)
     std::string gen_spec;
     std::string fault_spec;
     std::string server_path;
+    std::string target_name = "trips";
     int threads = 1;
     int argi = 1;
     while (argi < argc && argv[argi][0] == '-') {
@@ -141,6 +147,8 @@ main(int argc, char **argv)
                              "--threads wants a positive integer\n");
                 return 1;
             }
+        } else if (std::strncmp(argv[argi], "--target=", 9) == 0) {
+            target_name = argv[argi] + 9;
         } else if (std::strncmp(argv[argi], "--fault=", 8) == 0) {
             fault_spec = argv[argi] + 8;
         } else if (std::strncmp(argv[argi], "--server=", 9) == 0) {
@@ -153,8 +161,8 @@ main(int argc, char **argv)
     if (argi >= argc && gen_spec.empty()) {
         std::fprintf(stderr,
                      "usage: %s [--dump] [--asm] [--keep-going] "
-                     "[--fault=SPEC] [--threads=N] program.tc "
-                     "[int args...]\n"
+                     "[--fault=SPEC] [--threads=N] [--target=NAME] "
+                     "program.tc [int args...]\n"
                      "       %s [flags] --gen=seed:S,shape:X[,...] "
                      "[int args...]\n",
                      argv[0], argv[0]);
@@ -185,12 +193,21 @@ main(int argc, char **argv)
         }
         request << ",\"keep_going\":"
                 << (keep_going ? "true" : "false");
+        if (target_name != "trips")
+            request << ",\"target\":" << jsonQuote(target_name);
         if (emit_asm)
             request << ",\"emit_asm\":true";
         if (!fault_spec.empty())
             request << ",\"fault\":" << jsonQuote(fault_spec);
         request << "}";
         return runServerClient(server_path, request.str());
+    }
+
+    const TargetModel *target = findTarget(target_name);
+    if (!target) {
+        std::fprintf(stderr, "unknown target %s (known targets: %s)\n",
+                     target_name.c_str(), targetNamesJoined().c_str());
+        return 1;
     }
 
     if (!fault_spec.empty()) {
@@ -257,6 +274,7 @@ main(int argc, char **argv)
 
     Session session(SessionOptions()
                         .withPipeline(Pipeline::IUPO_fused)
+                        .withTarget(*target)
                         .withKeepGoing(keep_going)
                         .withThreads(threads));
     session.addProgramRef(program, profile);

@@ -144,7 +144,7 @@ allocateRegisters(Program &program, const RegAllocOptions &options)
         // Spill code may have blown the structural limits: reverse
         // if-convert (split) the offenders.
         result.blocksSplit =
-            splitOversizedBlocks(fn, options.constraints);
+            splitOversizedBlocks(fn, options.target);
     }
 
     return result;

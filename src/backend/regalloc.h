@@ -28,7 +28,10 @@ namespace chf {
 struct RegAllocOptions
 {
     size_t numPhysRegs = 128;
-    TripsConstraints constraints;
+
+    /** Target description; bounds the post-spill block splitting and
+     *  (via the caller) numPhysRegs. Defaults to the TRIPS model. */
+    TargetModel target;
 };
 
 /** Allocation outcome. */

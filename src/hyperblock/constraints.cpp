@@ -11,7 +11,7 @@ namespace chf {
 
 BlockResources
 analyzeBlock(const Function &fn, const BasicBlock &bb,
-             const BitVector &live_out, const TripsConstraints &constraints,
+             const BitVector &live_out, const TargetModel &target,
              BlockAnalysisScratch *scratch)
 {
     BlockAnalysisScratch local;
@@ -27,24 +27,27 @@ analyzeBlock(const Function &fn, const BasicBlock &bb,
     uint32_t nv = std::max(fn.numVregs(),
                            static_cast<uint32_t>(live_out.size()));
 
+    // Bank geometry flows explicitly from the target model: the
+    // pre-allocation proxy assigns vreg v to bank (v mod banks), so
+    // changing the geometry changes the per-bank estimates (a 2-bank
+    // model concentrates reads that a 4-bank model spreads).
+    const size_t banks = target.effectiveBanks();
+
     // Distinct upward-exposed reads (register file reads).
     blockUsesInto(bb, nv, t.uses, t.killed);
     res.regReads = t.uses.count();
-    t.uses.forEach([&](uint32_t v) {
-        res.bankReads[v % constraints.numRegBanks]++;
-    });
+    t.uses.forEach([&](uint32_t v) { res.bankReads[v % banks]++; });
 
     // Distinct written live-out registers (register file writes).
     blockDefsInto(bb, nv, t.defs);
     t.defs.intersectWith(live_out);
     res.regWrites = t.defs.count();
-    t.defs.forEach([&](uint32_t v) {
-        res.bankWrites[v % constraints.numRegBanks]++;
-    });
+    t.defs.forEach([&](uint32_t v) { res.bankWrites[v % banks]++; });
 
     // Fanout prediction: a producer can name two consumers; each extra
     // consumer costs one mov in the fanout tree (Fig. 6's fanout
     // insertion). Count in-block consumers per def until redefinition.
+    // The same walk counts exit branches for the branch/output model.
     {
         std::map<Vreg, size_t> consumers;
         auto flush = [&](Vreg v) {
@@ -56,6 +59,8 @@ analyzeBlock(const Function &fn, const BasicBlock &bb,
             }
         };
         for (const auto &inst : bb.insts) {
+            if (inst.op == Opcode::Br)
+                res.branches++;
             inst.forEachUse([&](Vreg v) { consumers[v] += 1; });
             if (inst.hasDest()) {
                 flush(inst.dest);
@@ -77,42 +82,48 @@ analyzeBlock(const Function &fn, const BasicBlock &bb,
 }
 
 std::string
-blockSizeReason(const TripsConstraints &constraints, size_t headroom)
+blockSizeReason(const TargetModel &target, size_t headroom)
 {
     return concat("estimated insts + ", headroom,
-                  " headroom exceed max ", constraints.maxInsts);
+                  " headroom exceed max ", target.maxInsts);
 }
 
 std::string
-checkBlockLegal(const BlockResources &res,
-                const TripsConstraints &constraints, size_t headroom,
-                bool check_banks)
+checkBlockLegal(const BlockResources &res, const TargetModel &target,
+                size_t headroom, bool check_banks)
 {
-    if (res.estimatedInsts() + headroom > constraints.maxInsts)
-        return blockSizeReason(constraints, headroom);
-    if (res.memOps > constraints.maxMemOps) {
+    if (res.estimatedInsts() + headroom > target.maxInsts)
+        return blockSizeReason(target, headroom);
+    if (res.memOps > target.effectiveMemOps()) {
         return concat(res.memOps, " memory ops exceed ",
-                      constraints.maxMemOps);
+                      target.effectiveMemOps());
     }
-    if (res.regReads > constraints.maxRegReads()) {
+    // Branch/output model: 0 means exits are bounded only by the
+    // instruction budget (the reference TRIPS model), so this check
+    // never fires there and legacy output is untouched.
+    if (target.maxBranches > 0 && res.branches > target.maxBranches) {
+        return concat(res.branches, " exit branches exceed ",
+                      target.maxBranches);
+    }
+    if (res.regReads > target.maxRegReads()) {
         return concat(res.regReads, " register reads exceed ",
-                      constraints.maxRegReads());
+                      target.maxRegReads());
     }
-    if (res.regWrites > constraints.maxRegWrites()) {
+    if (res.regWrites > target.maxRegWrites()) {
         return concat(res.regWrites, " register writes exceed ",
-                      constraints.maxRegWrites());
+                      target.maxRegWrites());
     }
     if (check_banks) {
-        for (size_t b = 0; b < constraints.numRegBanks; ++b) {
-            if (res.bankReads[b] > constraints.maxReadsPerBank) {
+        for (size_t b = 0; b < target.effectiveBanks(); ++b) {
+            if (res.bankReads[b] > target.maxReadsPerBank) {
                 return concat("bank ", b, " has ", res.bankReads[b],
-                              " reads (max ",
-                              constraints.maxReadsPerBank, ")");
+                              " reads (max ", target.maxReadsPerBank,
+                              ")");
             }
-            if (res.bankWrites[b] > constraints.maxWritesPerBank) {
+            if (res.bankWrites[b] > target.maxWritesPerBank) {
                 return concat("bank ", b, " has ", res.bankWrites[b],
-                              " writes (max ",
-                              constraints.maxWritesPerBank, ")");
+                              " writes (max ", target.maxWritesPerBank,
+                              ")");
             }
         }
     }
@@ -121,13 +132,11 @@ checkBlockLegal(const BlockResources &res,
 
 std::string
 checkBlockLegal(const Function &fn, const BasicBlock &bb,
-                const BitVector &live_out,
-                const TripsConstraints &constraints, size_t headroom,
-                BlockAnalysisScratch *scratch)
+                const BitVector &live_out, const TargetModel &target,
+                size_t headroom, BlockAnalysisScratch *scratch)
 {
-    return checkBlockLegal(
-        analyzeBlock(fn, bb, live_out, constraints, scratch),
-        constraints, headroom);
+    return checkBlockLegal(analyzeBlock(fn, bb, live_out, target, scratch),
+                           target, headroom);
 }
 
 } // namespace chf

@@ -1,15 +1,17 @@
 /**
  * @file
- * TRIPS structural block constraints and the block size estimator.
+ * Structural block constraints and the block size estimator.
  *
- * The TRIPS ISA restricts each block to (1) at most 128 instructions,
- * (2) at most 32 load/store identifiers, (3) at most 8 reads and 8
- * writes per each of 4 register banks, and (4) a constant number of
- * outputs (paper §2). Because register reads/writes, null-write
- * compensation, and fanout moves are inserted by later phases (Fig. 6),
- * hyperblock formation must *estimate* the final size of a candidate
- * block; this header provides both the constraint set and the
- * estimator.
+ * Constraint checks are parameterized by a chf::TargetModel
+ * (target/target_model.h): block instruction budget, LSQ-bounded
+ * memory-op budget, register-bank geometry, and an optional branch
+ * cap. The reference model is the TRIPS ISA — at most 128 instructions
+ * per block, 32 load/store identifiers, 8 reads and 8 writes per each
+ * of 4 register banks, a constant number of outputs (paper §2).
+ * Because register reads/writes, null-write compensation, and fanout
+ * moves are inserted by later phases (Fig. 6), hyperblock formation
+ * must *estimate* the final size of a candidate block; this header
+ * provides the estimator and the legality check.
  */
 
 #ifndef CHF_HYPERBLOCK_CONSTRAINTS_H
@@ -20,30 +22,9 @@
 
 #include "ir/function.h"
 #include "support/bitvector.h"
+#include "target/target_model.h"
 
 namespace chf {
-
-/** Architectural limits of a TRIPS-like EDGE target. */
-struct TripsConstraints
-{
-    size_t maxInsts = 128;          ///< regular instructions per block
-    size_t maxMemOps = 32;          ///< static load/store ids
-    size_t numRegBanks = 4;
-    size_t maxReadsPerBank = 8;
-    size_t maxWritesPerBank = 8;
-
-    size_t
-    maxRegReads() const
-    {
-        return numRegBanks * maxReadsPerBank;
-    }
-
-    size_t
-    maxRegWrites() const
-    {
-        return numRegBanks * maxWritesPerBank;
-    }
-};
 
 /** Measured/estimated resource usage of one block. */
 struct BlockResources
@@ -52,10 +33,14 @@ struct BlockResources
     size_t fanoutMoves = 0;  ///< predicted fanout tree moves
     size_t nullWrites = 0;   ///< predicted output-normalization insts
     size_t memOps = 0;       ///< static loads + stores
+    size_t branches = 0;     ///< exit branches (Br instructions)
     size_t regReads = 0;     ///< distinct upward-exposed registers
     size_t regWrites = 0;    ///< distinct live-out written registers
-    std::array<size_t, 8> bankReads{};   ///< per-bank read counts
-    std::array<size_t, 8> bankWrites{};  ///< per-bank write counts
+
+    /** Per-bank counts under the target's bank geometry (populated up
+     *  to TargetModel::effectiveBanks() entries). */
+    std::array<size_t, TargetModel::kMaxBanks> bankReads{};
+    std::array<size_t, TargetModel::kMaxBanks> bankWrites{};
 
     /** Predicted instruction count after all later phases. */
     size_t
@@ -74,13 +59,15 @@ struct BlockAnalysisScratch
 };
 
 /**
- * Analyze @p bb: count memory ops, distinct register reads/writes with
- * bank assignments (pre-allocation proxy: vreg modulo bank count), and
+ * Analyze @p bb: count memory ops and exit branches, distinct register
+ * reads/writes with bank assignments under @p target's geometry
+ * (pre-allocation proxy: vreg modulo the target's bank count, so a
+ * 2-bank and an 8-bank model yield different per-bank estimates), and
  * predict the fanout moves and null writes later phases will add.
  */
 BlockResources analyzeBlock(const Function &fn, const BasicBlock &bb,
                             const BitVector &live_out,
-                            const TripsConstraints &constraints,
+                            const TargetModel &target,
                             BlockAnalysisScratch *scratch = nullptr);
 
 /**
@@ -92,11 +79,10 @@ BlockResources analyzeBlock(const Function &fn, const BasicBlock &bb,
  * check, so whenever the pre-screen fires the full path would have
  * returned this same string).
  */
-std::string blockSizeReason(const TripsConstraints &constraints,
-                            size_t headroom);
+std::string blockSizeReason(const TargetModel &target, size_t headroom);
 
 /**
- * Check @p res against @p constraints with @p headroom instructions
+ * Check @p res against @p target with @p headroom instructions
  * reserved for spill code. Returns an empty string when legal, else a
  * human-readable reason.
  *
@@ -106,14 +92,14 @@ std::string blockSizeReason(const TripsConstraints &constraints,
  * counts reflect physical registers.
  */
 std::string checkBlockLegal(const BlockResources &res,
-                            const TripsConstraints &constraints,
+                            const TargetModel &target,
                             size_t headroom = 0,
                             bool check_banks = false);
 
 /** Convenience: analyze + check. */
 std::string checkBlockLegal(const Function &fn, const BasicBlock &bb,
                             const BitVector &live_out,
-                            const TripsConstraints &constraints,
+                            const TargetModel &target,
                             size_t headroom = 0,
                             BlockAnalysisScratch *scratch = nullptr);
 

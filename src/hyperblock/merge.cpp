@@ -326,13 +326,17 @@ MergeEngine::trialKey(BlockId hb, BlockId s, MergeKind kind,
     h.u32(s);
     h.u8(static_cast<uint8_t>(kind));
 
-    // Constraint configuration: a memo entry must never answer for a
-    // differently-configured engine.
-    h.u64(opts.constraints.maxInsts);
-    h.u64(opts.constraints.maxMemOps);
-    h.u64(opts.constraints.numRegBanks);
-    h.u64(opts.constraints.maxReadsPerBank);
-    h.u64(opts.constraints.maxWritesPerBank);
+    // Target configuration: a memo entry must never answer for a
+    // differently-configured engine. Every TargetModel knob the trial
+    // reads participates (the registry name does not -- two models
+    // with equal knobs behave identically and may share entries).
+    h.u64(opts.target.maxInsts);
+    h.u64(opts.target.maxMemOps);
+    h.u64(opts.target.lsqDepth);
+    h.u64(opts.target.numRegBanks);
+    h.u64(opts.target.maxReadsPerBank);
+    h.u64(opts.target.maxWritesPerBank);
+    h.u64(opts.target.maxBranches);
     h.u64(opts.sizeHeadroom);
     h.u8(opts.optimizeDuringMerge ? 1 : 0);
     h.u8(opts.enableHeadDuplication ? 1 : 0);
@@ -454,13 +458,13 @@ MergeEngine::tryMerge(BlockId hb, BlockId s)
     bool have_memo_key = false;
     if (fastPath) {
         if (trialSizeFloor(*hb_block, *source) + opts.sizeHeadroom >
-            opts.constraints.maxInsts) {
+            opts.target.maxInsts) {
             counters.add("trialsPrescreened");
             // The slow path would burn combine's fresh registers
             // before rejecting; replay the burn so numbering stays
             // bit-identical.
             fn.skipVregs(combineVregCost(*hb_block, *source));
-            illegal = blockSizeReason(opts.constraints,
+            illegal = blockSizeReason(opts.target,
                                       opts.sizeHeadroom);
         } else {
             memo_key =
@@ -542,7 +546,7 @@ MergeEngine::tryMerge(BlockId hb, BlockId s)
         // --- LegalBlock: structural constraints on the result ---
         Timer legal_timer;
         illegal = checkBlockLegal(fn, scratch, live_out,
-                                  opts.constraints, opts.sizeHeadroom,
+                                  opts.target, opts.sizeHeadroom,
                                   &t->legal);
         counters.add("usMergeLegal", legal_timer.elapsedMicros());
 
@@ -597,14 +601,14 @@ MergeEngine::tryMerge(BlockId hb, BlockId s)
     // candidate can donate its first piece.
     bool split_path_taken = false;
     if (opts.enableBlockSplitting && kind == MergeKind::Simple &&
-        illegal == blockSizeReason(opts.constraints, opts.sizeHeadroom) &&
+        illegal == blockSizeReason(opts.target, opts.sizeHeadroom) &&
         s_block->size() >= 16 &&
-        hb_block->size() + 8 < opts.constraints.maxInsts) {
+        hb_block->size() + 8 < opts.target.maxInsts) {
         // splitBlockAt mutates the function whether or not it splits
         // (it stabilizes branch predicates in place first), so trials
         // that reach here are never memoized.
         split_path_taken = true;
-        size_t room = opts.constraints.maxInsts - opts.sizeHeadroom -
+        size_t room = opts.target.maxInsts - opts.sizeHeadroom -
                       hb_block->size();
         size_t piece = std::min(room / 2, s_block->size() / 2);
         BlockId rest = splitBlockAt(fn, s, piece);
@@ -700,10 +704,10 @@ MergeEngine::runTrialSpeculative(const TrialPlan &plan,
     const BasicBlock *source = plan.source;
 
     if (trialSizeFloor(*hb_block, *source) + opts.sizeHeadroom >
-        opts.constraints.maxInsts) {
+        opts.target.maxInsts) {
         out.prescreened = true;
         out.vregsBurned = plan.burn;
-        out.reason = blockSizeReason(opts.constraints, opts.sizeHeadroom);
+        out.reason = blockSizeReason(opts.target, opts.sizeHeadroom);
         return;
     }
 
@@ -769,7 +773,7 @@ MergeEngine::runTrialSpeculative(const TrialPlan &plan,
 
     Timer legal_timer;
     std::string illegal = checkBlockLegal(fn, scratch, live_out,
-                                          opts.constraints,
+                                          opts.target,
                                           opts.sizeHeadroom, &t.legal);
     out.usLegal = legal_timer.elapsedMicros();
     out.vregsBurned = vregs.next - plan.vregBase;

@@ -92,7 +92,9 @@ const char *mergeKindName(MergeKind kind);
 /** Knobs of the merge engine. */
 struct MergeOptions
 {
-    TripsConstraints constraints;
+    /** Target description whose structural limits gate every merge
+     *  (target/target_model.h; defaults to the TRIPS model). */
+    TargetModel target;
 
     /** Run scalar optimizations on the scratch block (the "O" of
      *  (IUPO); off reproduces (IUP)O and the plain VLIW heuristic). */

@@ -110,7 +110,7 @@ makePolicy(PolicyKind kind)
  */
 StatSet
 discreteCfgUnrollPeel(Function &fn, const ProfileData &profile,
-                      const TripsConstraints &constraints)
+                      const TargetModel &target)
 {
     StatSet stats;
     // Loop headers are stable identifiers even as we restructure, but
@@ -138,7 +138,7 @@ discreteCfgUnrollPeel(Function &fn, const ProfileData &profile,
                 int k = static_cast<int>(
                     profile.trips.tripQuantile(loop.header, 0.5));
                 k = std::clamp(k, 0, 3);
-                if (k > 0 && body_size * k <= constraints.maxInsts) {
+                if (k > 0 && body_size * k <= target.maxInsts) {
                     stats.add("peeledIterations",
                               static_cast<int64_t>(
                                   cfgPeelLoop(fn, loop, k)));
@@ -152,7 +152,7 @@ discreteCfgUnrollPeel(Function &fn, const ProfileData &profile,
                 // compaction and over-commits -- the inaccuracy that
                 // makes this ordering worst in the paper (S3).
                 int f = static_cast<int>(
-                    2 * constraints.maxInsts /
+                    2 * target.maxInsts /
                     std::max<size_t>(body_size, 1));
                 f = std::clamp(f, 1, 6);
                 if (f >= 2) {
@@ -254,7 +254,8 @@ detail::compileUnit(Program &program, const ProfileData &profile,
     Timer total_timer;
 
     MergeOptions merge;
-    merge.constraints = options.constraints;
+    merge.target = options.target;
+    merge.sizeHeadroom = options.target.spillHeadroom;
     merge.enableHeadDuplication =
         options.pipeline == Pipeline::IUP_O ||
         options.pipeline == Pipeline::IUPO_fused;
@@ -327,12 +328,12 @@ detail::compileUnit(Program &program, const ProfileData &profile,
             ScopedStatTimer t(result.stats, "usUnrollPeel");
             if (!guarded) {
                 result.stats.merge(discreteCfgUnrollPeel(
-                    fn, profile, options.constraints));
+                    fn, profile, options.target));
             } else {
                 StatSet up;
                 if (run_phase("unroll", [&] {
                         up = discreteCfgUnrollPeel(fn, profile,
-                                                   options.constraints);
+                                                   options.target);
                     })) {
                     result.stats.merge(up);
                 }
@@ -382,7 +383,8 @@ detail::compileUnit(Program &program, const ProfileData &profile,
         // them up before allocation.
         optimizeFunction(fn);
         RegAllocOptions ra;
-        ra.constraints = options.constraints;
+        ra.target = options.target;
+        ra.numPhysRegs = options.target.numPhysRegs;
         RegAllocResult alloc = allocateRegisters(program, ra);
         result.stats.set("spilledValues",
                          static_cast<int64_t>(alloc.spilledValues));
@@ -396,7 +398,7 @@ detail::compileUnit(Program &program, const ProfileData &profile,
         result.stats.add(
             "blocksSplit",
             static_cast<int64_t>(
-                splitOversizedBlocks(fn, options.constraints)));
+                splitOversizedBlocks(fn, options.target)));
         if (options.verifyStages)
             verifyOrDie(fn, "backend");
     } else if (options.runBackend) {
@@ -406,7 +408,8 @@ detail::compileUnit(Program &program, const ProfileData &profile,
                 null_writes = normalizeOutputsFunction(fn);
                 optimizeFunction(fn);
                 RegAllocOptions ra;
-                ra.constraints = options.constraints;
+                ra.target = options.target;
+                ra.numPhysRegs = options.target.numPhysRegs;
                 RegAllocResult alloc = allocateRegisters(program, ra);
                 spilled = alloc.spilledValues;
                 ra_split = alloc.blocksSplit;
@@ -427,7 +430,7 @@ detail::compileUnit(Program &program, const ProfileData &profile,
         size_t late_split = 0;
         if (run_phase("schedule", [&] {
                 late_split =
-                    splitOversizedBlocks(fn, options.constraints);
+                    splitOversizedBlocks(fn, options.target);
                 scheduleFunction(fn);
             })) {
             result.stats.add("blocksSplit",

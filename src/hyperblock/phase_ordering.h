@@ -64,7 +64,11 @@ struct CompileOptions
 {
     Pipeline pipeline = Pipeline::IUPO_fused;
     PolicyKind policy = PolicyKind::BreadthFirst;
-    TripsConstraints constraints;
+
+    /** Target description (target/target_model.h): block format, LSQ
+     *  and bank geometry, register file, spill-headroom policy. The
+     *  default is the TRIPS reference model. */
+    TargetModel target;
 
     /** Run output normalization, register allocation, and fanout. */
     bool runBackend = true;

@@ -453,15 +453,30 @@ CompileServer::handle(const std::string &line)
     const int backoff_ms = static_cast<int>(req.number("backoff_ms", 0));
     const std::string *fault = req.str("fault");
 
-    // Content hash over every output-affecting field. timeout_ms stays
-    // out on purpose: a compile that beat its budget produced the same
-    // bytes any budget produces, and timed-out responses are never
+    // Per-request target selection: a registry name ("trips",
+    // "trips-wide", ...). Rejected before admission so a typo costs one
+    // round trip, not a compile slot.
+    const std::string *target_field = req.str("target");
+    const std::string target_name = target_field ? *target_field : "trips";
+    if (!findTarget(target_name)) {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++counters.errors;
+        return errorResponse(id, "unknown target \"" + target_name +
+                                     "\" (known targets: " +
+                                     targetNamesJoined() + ")");
+    }
+
+    // Content hash over every output-affecting field — including the
+    // target name, so two targets never share a cache entry. timeout_ms
+    // stays out on purpose: a compile that beat its budget produced the
+    // same bytes any budget produces, and timed-out responses are never
     // cached. Fault-carrying requests bypass the cache entirely.
     uint64_t cache_key = 0;
     const bool cacheable = fault == nullptr && opts.cacheCapacity > 0;
     if (cacheable) {
         Hash64 h;
         h.str(source ? *source : *gen);
+        h.str(target_name);
         h.u8(source ? 1 : 2);
         h.u8(keep_going ? 1 : 0);
         h.u8(emit_asm ? 1 : 0);
@@ -517,6 +532,10 @@ CompileServer::handleCompileAdmitted(
     const std::string *source = req.str("source");
     const std::string *gen = req.str("gen");
     const std::vector<int64_t> *args = req.array("args");
+    const std::string *target_field = req.str("target");
+    // Validated by handle() before admission; re-resolve by name here.
+    const TargetModel &target =
+        *findTarget(target_field ? *target_field : "trips");
 
     // The FaultInjector is process-wide: a fault request must not
     // share the pipeline with anyone, and nobody may compile while an
@@ -570,6 +589,7 @@ CompileServer::handleCompileAdmitted(
 
     Session session(SessionOptions()
                         .withPipeline(Pipeline::IUPO_fused)
+                        .withTarget(target)
                         .withBackend(opts.runBackend)
                         .withKeepGoing(keep_going)
                         .withThreads(opts.threads)

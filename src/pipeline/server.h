@@ -11,10 +11,16 @@
  * Requests (flat JSON objects; unknown keys are ignored):
  *
  *   {"op":"compile","source":"int main(){...}","args":[1,2]}
+ *   {"op":"compile","source":"...","target":"small-block"}
  *   {"op":"compile","gen":"seed:7,shape:switchy","keep_going":true,
  *    "timeout_ms":500,"fault":"phase:formation,fn:0,kind:stall:5000"}
  *   {"op":"health"}
  *   {"op":"stats"}
+ *
+ * "target" selects a registry target model by name (default "trips";
+ * see target/target_model.h). The name participates in the compile
+ * cache key, so two targets never share a cache entry; an unknown name
+ * is refused with an error listing the registry.
  *
  * Responses always carry "status": "ok" (compiled; "degraded":true if
  * phases rolled back), "timeout" (the unit's time budget or the

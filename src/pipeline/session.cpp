@@ -51,6 +51,28 @@ static_assert(!std::is_copy_constructible_v<AnalysisManager> &&
               "AnalysisManager must stay non-copyable: Session workers "
               "each own their analyses and share no mutable state");
 
+SessionOptions &
+SessionOptions::withTarget(const TargetModel &model)
+{
+    std::string problem = model.validate();
+    if (!problem.empty())
+        fatal(concat("invalid target model '", model.name, "': ", problem));
+    target = model;
+    return *this;
+}
+
+SessionOptions &
+SessionOptions::withTarget(const std::string &name)
+{
+    const TargetModel *model = findTarget(name);
+    if (!model) {
+        fatal(concat("unknown target '", name, "' (known targets: ",
+                     targetNamesJoined(), ")"));
+    }
+    target = *model;
+    return *this;
+}
+
 bool
 SessionResult::degraded() const
 {
@@ -191,7 +213,7 @@ Session::compile(int threads)
         CompileOptions co;
         co.pipeline = conf.pipeline;
         co.policy = conf.policy;
-        co.constraints = conf.constraints;
+        co.target = conf.target;
         co.runBackend = conf.runBackend;
         co.blockSplitting = conf.blockSplitting;
         co.parallelTrials = conf.parallelTrials;
@@ -376,7 +398,7 @@ compileProgram(Program &program, const ProfileData &profile,
     SessionOptions conf = SessionOptions()
                               .withPipeline(options.pipeline)
                               .withPolicy(options.policy)
-                              .withConstraints(options.constraints)
+                              .withTarget(options.target)
                               .withBackend(options.runBackend)
                               .withBlockSplitting(options.blockSplitting)
                               .withParallelTrials(options.parallelTrials)

@@ -57,7 +57,11 @@ struct SessionOptions
 {
     Pipeline pipeline = Pipeline::IUPO_fused;
     PolicyKind policy = PolicyKind::BreadthFirst;
-    TripsConstraints constraints;
+
+    /** Target description compiled for (target/target_model.h). The
+     *  default is the TRIPS reference model; set a registry model or a
+     *  hand-built one with withTarget(). */
+    TargetModel target;
 
     /** Run output normalization, register allocation, and fanout. */
     bool runBackend = true;
@@ -132,10 +136,25 @@ struct SessionOptions
     SessionOptions &withPipeline(Pipeline p) { pipeline = p; return *this; }
     SessionOptions &withPolicy(PolicyKind k) { policy = k; return *this; }
 
+    /** Compile for @p model. Panics when the model fails
+     *  TargetModel::validate() — a structurally broken target would
+     *  otherwise surface as inscrutable formation behavior. */
+    SessionOptions &withTarget(const TargetModel &model);
+
+    /** Compile for the registry model named @p name ("trips",
+     *  "trips-wide", "small-block", "deep-lsq"). Panics on an unknown
+     *  name, listing the registry. */
+    SessionOptions &withTarget(const std::string &name);
+
+    /**
+     * @deprecated Historical spelling from when the target description
+     * was the TripsConstraints struct; identical to withTarget(model).
+     */
+    [[deprecated("use withTarget (see docs/api.md)")]]
     SessionOptions &
-    withConstraints(const TripsConstraints &c)
+    withConstraints(const TargetModel &c)
     {
-        constraints = c;
+        target = c;
         return *this;
     }
 

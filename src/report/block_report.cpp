@@ -7,11 +7,11 @@
 namespace chf {
 
 BlockReport
-analyzeBlocks(const Function &fn, const TripsConstraints &constraints,
+analyzeBlocks(const Function &fn, const TargetModel &target,
               const FuncSimResult *run)
 {
     BlockReport report;
-    size_t buckets = constraints.maxInsts / 16 + 1;
+    size_t buckets = target.maxInsts / 16 + 1;
     report.sizeHistogram.assign(buckets, 0);
 
     double static_fill = 0.0;
@@ -29,7 +29,7 @@ analyzeBlocks(const Function &fn, const TripsConstraints &constraints,
 
         double fill = std::min(
             1.0, static_cast<double>(size) /
-                     static_cast<double>(constraints.maxInsts));
+                     static_cast<double>(target.maxInsts));
         static_fill += fill;
         size_t bucket = std::min(buckets - 1, size / 16);
         report.sizeHistogram[bucket]++;
@@ -67,12 +67,12 @@ analyzeBlocks(const Function &fn, const TripsConstraints &constraints,
 }
 
 std::string
-toString(const BlockReport &report, const TripsConstraints &constraints)
+toString(const BlockReport &report, const TargetModel &target)
 {
     std::ostringstream os;
     os << "blocks " << report.blocks << ", insts " << report.totalInsts
        << ", mean size " << static_cast<int>(report.meanBlockSize)
-       << "/" << constraints.maxInsts << ", max "
+       << "/" << target.maxInsts << ", max "
        << report.maxBlockSize << "\n";
     os << "static fill " << static_cast<int>(
               report.staticUtilization * 100)

@@ -56,12 +56,12 @@ struct BlockReport
  * are zero.
  */
 BlockReport analyzeBlocks(const Function &fn,
-                          const TripsConstraints &constraints,
+                          const TargetModel &target,
                           const FuncSimResult *run = nullptr);
 
 /** Render a report as aligned text. */
 std::string toString(const BlockReport &report,
-                     const TripsConstraints &constraints);
+                     const TargetModel &target);
 
 /**
  * Render the pass-timing ("usXxx", microseconds) and analysis-cache

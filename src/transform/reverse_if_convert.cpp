@@ -54,15 +54,15 @@ stabilizeBranchReads(Function &fn, BasicBlock &bb)
 } // namespace
 
 size_t
-splitBlock(Function &fn, BlockId id, const TripsConstraints &constraints)
+splitBlock(Function &fn, BlockId id, const TargetModel &target)
 {
     BasicBlock *bb = fn.block(id);
     CHF_ASSERT(bb, "splitBlock on removed block");
 
     // Budget per part, leaving one slot for the chaining jump.
-    size_t max_insts = constraints.maxInsts - 1;
-    size_t max_mem = constraints.maxMemOps;
-    if (bb->size() <= constraints.maxInsts &&
+    size_t max_insts = target.maxInsts - 1;
+    size_t max_mem = target.effectiveMemOps();
+    if (bb->size() <= target.maxInsts &&
         bb->memoryOpCount() <= max_mem) {
         return 0;
     }
@@ -91,7 +91,7 @@ splitBlock(Function &fn, BlockId id, const TripsConstraints &constraints)
     }
 
     // Ensure the final part has room for the branches.
-    if (parts.back().size() + branches.size() > constraints.maxInsts)
+    if (parts.back().size() + branches.size() > target.maxInsts)
         parts.emplace_back();
 
     if (parts.size() == 1) {
@@ -163,11 +163,11 @@ splitBlockAt(Function &fn, BlockId id, size_t first_insts)
 }
 
 size_t
-splitOversizedBlocks(Function &fn, const TripsConstraints &constraints)
+splitOversizedBlocks(Function &fn, const TargetModel &target)
 {
     size_t created = 0;
     for (BlockId id : fn.blockIds())
-        created += splitBlock(fn, id, constraints);
+        created += splitBlock(fn, id, target);
     return created;
 }
 

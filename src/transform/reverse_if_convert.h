@@ -22,11 +22,11 @@
 namespace chf {
 
 /**
- * Split @p id into a chain of blocks each obeying @p constraints.
+ * Split @p id into a chain of blocks each obeying @p target's limits.
  * @return number of new blocks created (0 when no split needed).
  */
 size_t splitBlock(Function &fn, BlockId id,
-                  const TripsConstraints &constraints);
+                  const TargetModel &target);
 
 /**
  * Split @p id into exactly two blocks: the first keeps the id and
@@ -43,7 +43,7 @@ BlockId splitBlockAt(Function &fn, BlockId id, size_t first_insts);
 
 /** Split every oversized block in @p fn. @return blocks created. */
 size_t splitOversizedBlocks(Function &fn,
-                            const TripsConstraints &constraints);
+                            const TargetModel &target);
 
 } // namespace chf
 

@@ -95,7 +95,7 @@ TEST(BlockReport, MeasuresUtilization)
         "  return s;\n"
         "}\n");
     ProfileData profile = prepareProgram(p);
-    TripsConstraints constraints;
+    TargetModel constraints;
 
     FuncSimResult before_run = runFunctional(p);
     BlockReport before =
@@ -118,7 +118,7 @@ TEST(BlockReport, MeasuresUtilization)
 TEST(BlockReport, HistogramSumsToBlockCount)
 {
     Program p = compileTinyC("int main() { return 7; }");
-    TripsConstraints constraints;
+    TargetModel constraints;
     BlockReport report = analyzeBlocks(p.fn, constraints);
     size_t total = 0;
     for (size_t n : report.sizeHistogram)
@@ -191,7 +191,7 @@ TEST(SplitOversizedBlocks, SinkingRetPastRedefinitionKeepsItsValue)
     before.fn = fn.clone();
     ASSERT_EQ(runFunctional(before).returnValue, 7);
 
-    TripsConstraints tight;
+    TargetModel tight;
     tight.maxInsts = 8;
     ASSERT_GT(splitOversizedBlocks(fn, tight), 0u);
     EXPECT_TRUE(verify(fn).empty());

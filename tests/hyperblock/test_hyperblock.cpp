@@ -27,7 +27,7 @@ namespace {
 
 TEST(Constraints, DerivedLimits)
 {
-    TripsConstraints c;
+    TargetModel c;
     EXPECT_EQ(c.maxRegReads(), 32u);
     EXPECT_EQ(c.maxRegWrites(), 32u);
 }
@@ -45,7 +45,7 @@ TEST(Constraints, CountsMemOpsAndRegisters)
     Vreg out = b.add(IRBuilder::r(in1), IRBuilder::r(in2));
     b.ret(IRBuilder::r(out));
 
-    TripsConstraints constraints;
+    TargetModel constraints;
     BitVector live_out(fn.numVregs());
     live_out.set(out);
     BlockResources res =
@@ -70,7 +70,7 @@ TEST(Constraints, PredictsFanout)
     sink = b.add(IRBuilder::r(v), IRBuilder::r(sink));
     b.ret(IRBuilder::r(sink));
 
-    TripsConstraints constraints;
+    TargetModel constraints;
     BitVector live_out(fn.numVregs());
     BlockResources res =
         analyzeBlock(fn, *fn.block(id), live_out, constraints);
@@ -82,7 +82,7 @@ TEST(Constraints, RejectsOversize)
     BlockResources res;
     res.insts = 120;
     res.fanoutMoves = 20;
-    TripsConstraints constraints;
+    TargetModel constraints;
     EXPECT_FALSE(checkBlockLegal(res, constraints).empty());
     res.fanoutMoves = 0;
     EXPECT_TRUE(checkBlockLegal(res, constraints).empty());
@@ -94,7 +94,7 @@ TEST(Constraints, RejectsTooManyMemOps)
     BlockResources res;
     res.insts = 40;
     res.memOps = 33;
-    TripsConstraints constraints;
+    TargetModel constraints;
     std::string why = checkBlockLegal(res, constraints);
     EXPECT_NE(why.find("memory ops"), std::string::npos);
 }
@@ -276,7 +276,7 @@ TEST(MergeEngine, UnrollStopsAtConstraints)
 {
     SelfLoopFixture f;
     MergeOptions options;
-    options.constraints.maxInsts = 32;
+    options.target.maxInsts = 32;
     MergeEngine engine(f.fn, options);
 
     size_t unrolls = 0;

@@ -62,7 +62,7 @@ runFormation(const std::string &source, bool use_cache,
     opts.recordMergeTrace = true;
     opts.enableBlockSplitting = block_splitting;
     if (max_insts > 0)
-        opts.constraints.maxInsts = max_insts;
+        opts.target.maxInsts = max_insts;
     MergeEngine engine(p.fn, opts);
     BreadthFirstPolicy policy;
     for (BlockId seed : p.fn.reversePostOrder()) {

@@ -86,7 +86,7 @@ TEST_P(WorkloadPipelineTest, AllPipelinesPreserveSemantics)
         // Structural constraints, with slack for post-formation
         // insertions (fanout moves and spill reloads land after the
         // constraint check, as in the real compiler).
-        TripsConstraints constraints;
+        TargetModel constraints;
         for (BlockId id : compiled.fn.blockIds()) {
             const BasicBlock *bb = compiled.fn.block(id);
             EXPECT_LE(bb->size(), constraints.maxInsts + 32)
@@ -144,7 +144,7 @@ TEST_P(StrictInvariants, FinalBlocksRespectIsaLimits)
     options.pipeline = Pipeline::IUPO_fused;
     compileProgram(compiled, profile, options);
 
-    TripsConstraints constraints;
+    TargetModel constraints;
     for (BlockId id : compiled.fn.blockIds()) {
         const BasicBlock *bb = compiled.fn.block(id);
         EXPECT_LE(bb->size(), constraints.maxInsts)

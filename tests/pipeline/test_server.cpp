@@ -144,6 +144,45 @@ TEST(ServerCache, KeepGoingChangesTheKey)
     EXPECT_EQ(server.stats().compiled, 2u);
 }
 
+TEST(ServerCache, TargetsNeverShareCacheEntries)
+{
+    CompileServer server;
+    auto compileFor = [&](const char *target) {
+        return server.handle(
+            std::string(R"({"op":"compile","gen":"seed:3,shape:bench",)"
+                        R"("target":")") +
+            target + R"("})");
+    };
+
+    std::string trips = compileFor("trips");
+    std::string small = compileFor("small-block");
+    EXPECT_EQ(status(trips), "ok") << trips;
+    EXPECT_EQ(status(small), "ok") << small;
+    // The second target must compile fresh, never hit trips's entry.
+    EXPECT_FALSE(hasField(small, "\"cached\":true"));
+    EXPECT_EQ(server.stats().compiled, 2u);
+
+    // Each target hits only its own entry on repeat.
+    EXPECT_TRUE(hasField(compileFor("trips"), "\"cached\":true"));
+    EXPECT_TRUE(hasField(compileFor("small-block"), "\"cached\":true"));
+    EXPECT_EQ(server.stats().compiled, 2u);
+    EXPECT_EQ(server.stats().cacheHits, 2u);
+
+    // An explicit "trips" and an omitted target are the same request.
+    EXPECT_TRUE(hasField(server.handle(kCompileGen), "\"cached\":true"));
+}
+
+TEST(ServerProtocol, UnknownTargetIsRefusedWithTheRegistry)
+{
+    CompileServer server;
+    std::string response = server.handle(
+        R"({"op":"compile","gen":"seed:3,shape:bench","target":"vax"})");
+    EXPECT_EQ(status(response), "error") << response;
+    EXPECT_TRUE(hasField(response, "trips-wide")) << response;
+    EXPECT_EQ(server.stats().compiled, 0u);
+    EXPECT_EQ(server.stats().errors, 1u);
+}
+
 TEST(ServerTimeout, StalledRequestTimesOutAndIsNotCached)
 {
     CompileServer server;

@@ -298,15 +298,15 @@ TEST(SessionLegacyEquivalence, CompileTinyCMatchesFrontend)
 
 TEST(SessionBuilder, FluentOptionsSetEveryField)
 {
-    TripsConstraints constraints;
-    constraints.maxInsts = 64;
+    TargetModel model;
+    model.maxInsts = 64;
     FaultSpec fault;
     fault.phase = "formation";
 
     SessionOptions options = SessionOptions()
                                  .withPipeline(Pipeline::UPIO)
                                  .withPolicy(PolicyKind::DepthFirst)
-                                 .withConstraints(constraints)
+                                 .withTarget(model)
                                  .withBackend(false)
                                  .withBlockSplitting(true)
                                  .withVerifyStages(false)
@@ -316,7 +316,7 @@ TEST(SessionBuilder, FluentOptionsSetEveryField)
 
     EXPECT_EQ(options.pipeline, Pipeline::UPIO);
     EXPECT_EQ(options.policy, PolicyKind::DepthFirst);
-    EXPECT_EQ(options.constraints.maxInsts, 64u);
+    EXPECT_EQ(options.target.maxInsts, 64u);
     EXPECT_FALSE(options.runBackend);
     EXPECT_TRUE(options.blockSplitting);
     EXPECT_FALSE(options.verifyStages);

@@ -409,7 +409,7 @@ TEST(SplitBlock, SplitsOversizedAndPreservesSemantics)
     p.fn = fn.clone();
     auto before = observe(p);
 
-    TripsConstraints constraints;
+    TargetModel constraints;
     EXPECT_GT(splitBlock(fn, big, constraints), 0u);
     for (BlockId id : fn.blockIds())
         EXPECT_LE(fn.block(id)->size(), constraints.maxInsts);
@@ -450,7 +450,7 @@ TEST(SplitBlock, StabilizesBranchPredicates)
     before_p.fn = fn.clone();
     EXPECT_EQ(observe(before_p).first, 111);
 
-    TripsConstraints constraints;
+    TargetModel constraints;
     splitBlock(fn, big, constraints);
     Program after_p;
     after_p.fn = std::move(fn);

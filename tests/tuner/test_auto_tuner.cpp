@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for chf::AutoTuner (src/tuner/auto_tuner.h): report determinism
+ * across runs and thread counts, Pareto-front correctness, the trial
+ * budget, greedy refinement, and the semantics guarantee that every
+ * candidate preserves the oracle result (the tuner fatals otherwise,
+ * so a completed tune() implies it held).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tuner/auto_tuner.h"
+#include "workloads/workloads.h"
+
+namespace chf {
+namespace {
+
+/** Small search over a small workload, fast enough for tier-1. */
+TunerOptions
+smallSpace()
+{
+    TunerOptions opts;
+    opts.policies = {PolicyKind::BreadthFirst, PolicyKind::Vliw};
+    opts.maxInstsGrid = {64, 128};
+    opts.spillHeadroomGrid = {4};
+    opts.greedyRounds = 1;
+    return opts;
+}
+
+TunerReport
+tuneWorkload(const char *name, TunerOptions opts)
+{
+    const Workload *workload = findWorkload(name);
+    EXPECT_NE(workload, nullptr) << name;
+    Program program = buildWorkload(*workload);
+    ProfileData profile = prepareProgram(program);
+    return AutoTuner(std::move(opts)).tune(program, profile);
+}
+
+TEST(AutoTuner, GridCoversPolicyCrossKnobSpace)
+{
+    TunerReport report = tuneWorkload("sieve", smallSpace());
+    // 2 policies x 2 maxInsts x 1 headroom, plus whatever refinement
+    // added on top.
+    ASSERT_GE(report.points.size(), 4u);
+    EXPECT_EQ(report.truncated, 0u);
+    EXPECT_GT(report.baselineInsts, 0u);
+    for (const TunerPoint &p : report.points) {
+        EXPECT_GT(p.blocks, 0u);
+        EXPECT_GT(p.cycles, 0u);
+        EXPECT_GT(p.codeGrowth, 0.0);
+    }
+}
+
+TEST(AutoTuner, ReportIsDeterministicAcrossRunsAndThreads)
+{
+    std::string sequential =
+        tuneWorkload("sieve", smallSpace()).toJson("sieve");
+    std::string repeat =
+        tuneWorkload("sieve", smallSpace()).toJson("sieve");
+    EXPECT_EQ(sequential, repeat);
+
+    TunerOptions parallel = smallSpace();
+    parallel.threads = 4;
+    std::string threaded =
+        tuneWorkload("sieve", parallel).toJson("sieve");
+    EXPECT_EQ(sequential, threaded);
+}
+
+TEST(AutoTuner, ParetoFrontIsExactlyTheNonDominatedSet)
+{
+    TunerReport report = tuneWorkload("bzip2_3", smallSpace());
+
+    auto dominates = [](const TunerPoint &p, const TunerPoint &q) {
+        bool no_worse = p.blocks <= q.blocks &&
+                        p.codeGrowth <= q.codeGrowth &&
+                        p.cycles <= q.cycles;
+        bool better = p.blocks < q.blocks ||
+                      p.codeGrowth < q.codeGrowth || p.cycles < q.cycles;
+        return no_worse && better;
+    };
+
+    ASSERT_FALSE(report.paretoFront.empty());
+    for (size_t i = 0; i < report.points.size(); ++i) {
+        bool dominated = false;
+        for (const TunerPoint &other : report.points)
+            dominated |= dominates(other, report.points[i]);
+        EXPECT_EQ(report.points[i].pareto, !dominated) << i;
+    }
+    // The flags and the index list must agree.
+    std::vector<size_t> flagged;
+    for (size_t i = 0; i < report.points.size(); ++i)
+        if (report.points[i].pareto)
+            flagged.push_back(i);
+    EXPECT_EQ(flagged, report.paretoFront);
+}
+
+TEST(AutoTuner, BestHasFewestCyclesAndIsOnTheFront)
+{
+    TunerReport report = tuneWorkload("sieve", smallSpace());
+    const TunerPoint &best = report.points[report.best];
+    for (const TunerPoint &p : report.points)
+        EXPECT_GE(p.cycles, best.cycles);
+    // A cycle-minimal point cannot be dominated on the cycles axis.
+    EXPECT_TRUE(best.pareto);
+}
+
+TEST(AutoTuner, TrialBudgetTruncatesTheGrid)
+{
+    TunerOptions opts = smallSpace();
+    opts.maxTrials = 2;
+    opts.greedyRounds = 0;
+    TunerReport report = tuneWorkload("sieve", opts);
+    EXPECT_EQ(report.points.size(), 2u);
+    EXPECT_EQ(report.truncated, 2u); // 4-candidate grid, budget 2
+}
+
+TEST(AutoTuner, GreedyRefinementAddsNeighborsOfTheIncumbent)
+{
+    TunerOptions no_refine = smallSpace();
+    no_refine.greedyRounds = 0;
+    TunerOptions refine = smallSpace();
+    refine.greedyRounds = 2;
+
+    size_t base = tuneWorkload("sieve", no_refine).points.size();
+    size_t refined = tuneWorkload("sieve", refine).points.size();
+    EXPECT_GT(refined, base);
+}
+
+TEST(AutoTuner, SyntheticTargetsTuneToo)
+{
+    // The sweep bench runs the tuner over the whole registry; pin the
+    // non-trivial base-target path here with the smallest one.
+    TunerOptions opts;
+    opts.policies = {PolicyKind::BreadthFirst};
+    opts.baseTarget = *findTarget("small-block");
+    opts.maxInstsGrid = {16, 32};
+    opts.greedyRounds = 1;
+    TunerReport report = tuneWorkload("vadd", opts);
+    ASSERT_GE(report.points.size(), 2u);
+    for (const TunerPoint &p : report.points)
+        EXPECT_EQ(p.target.name, "small-block");
+}
+
+TEST(AutoTuner, InvalidGridVariantsAreSkippedNotEvaluated)
+{
+    // A grid value that breaks the model (headroom >= maxInsts) is
+    // dropped during candidate generation, not compiled.
+    TunerOptions opts;
+    opts.policies = {PolicyKind::BreadthFirst};
+    opts.maxInstsGrid = {2, 128}; // 2 < default spillHeadroom 4
+    opts.spillHeadroomGrid = {4};
+    opts.greedyRounds = 0;
+    TunerReport report = tuneWorkload("vadd", opts);
+    ASSERT_EQ(report.points.size(), 1u);
+    EXPECT_EQ(report.points[0].target.maxInsts, 128u);
+}
+
+} // namespace
+} // namespace chf
