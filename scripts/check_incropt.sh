@@ -1,0 +1,28 @@
+#!/bin/sh
+# Memory-safety gate for seam-scoped incremental trial optimization:
+# build with AddressSanitizer (CHF_SANITIZE=address instruments the
+# whole library) and run every ctest labeled "incropt" — the
+# incremental-opt differential matrix (CHF_INCR_OPT on vs off must be
+# byte-identical across policies, thread counts, trial-cache and
+# parallel-trial settings, and injected formation faults), the
+# seam-seeded fixpoint-equality unit tests, and the kill-switch /
+# option-plumbing checks (DESIGN.md §14). Test timeouts come from
+# chf_test_budget(), which picks the sanitized ceiling under
+# CHF_SANITIZE builds.
+#
+# Usage: scripts/check_incropt.sh [build-dir]   (default: build-asan)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCHF_SANITIZE=address
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)"
+
+# halt_on_error: the first report fails the gate immediately instead of
+# scrolling past in a long test log.
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "$BUILD_DIR" -L incropt --output-on-failure
+echo "check_incropt: ctest -L incropt clean under AddressSanitizer"

@@ -268,15 +268,20 @@ formHyperblocks(Function &fn, Policy &policy,
             continue;
         }
         // Transactional: a seed whose expansion corrupts the IR is
-        // rolled back alone; the remaining seeds still expand.
-        runGuarded(
-            fn, "formation-seed", *options.diags,
-            [&] {
-                expandBlock(engine, policy, seed,
-                            options.maxMergesPerBlock);
-                faultInjectionPoint("formation-seed", fn);
-            },
-            &engine.analyses());
+        // rolled back alone; the remaining seeds still expand. The
+        // rollback restores pre-seed block bodies behind the engine's
+        // back, so its fixpoint certifications must be dropped with
+        // the analyses.
+        if (!runGuarded(
+                fn, "formation-seed", *options.diags,
+                [&] {
+                    expandBlock(engine, policy, seed,
+                                options.maxMergesPerBlock);
+                    faultInjectionPoint("formation-seed", fn);
+                },
+                &engine.analyses())) {
+            engine.invalidateFixpoints();
+        }
     }
 
     fn.removeUnreachable();

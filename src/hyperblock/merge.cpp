@@ -44,14 +44,44 @@ MergeEngine::parallelTrialsEnabledByEnv()
     return env == nullptr || std::strcmp(env, "0") != 0;
 }
 
+bool
+MergeEngine::incrementalOptEnabledByEnv()
+{
+    const char *env = std::getenv("CHF_INCR_OPT");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
 MergeEngine::MergeEngine(Function &fn, const MergeOptions &options)
     : fn(fn), opts(options),
       am(fn, options.useAnalysisCache &&
              AnalysisManager::cacheEnabledByEnv()),
       fastPath(options.useTrialCache && trialCacheEnabledByEnv()),
       parallelEnabled(options.parallelTrials &&
-                      parallelTrialsEnabledByEnv())
+                      parallelTrialsEnabledByEnv()),
+      incrOpt(options.incrementalOpt && incrementalOptEnabledByEnv())
 {
+}
+
+void
+MergeEngine::invalidateFixpoints()
+{
+    std::fill(fixpointKnown.begin(), fixpointKnown.end(),
+              static_cast<uint8_t>(0));
+}
+
+void
+MergeEngine::addOptStats(const OptPassStats &stats)
+{
+    counters.add("usOptCopyProp", static_cast<int64_t>(stats.usCopyProp));
+    counters.add("usOptGvn", static_cast<int64_t>(stats.usGvn));
+    counters.add("usOptPredOpt", static_cast<int64_t>(stats.usPredOpt));
+    counters.add("usOptDce", static_cast<int64_t>(stats.usDce));
+    counters.add("usOptCoalesce",
+                 static_cast<int64_t>(stats.usCoalesce));
+    counters.add("optSeamVisited",
+                 static_cast<int64_t>(stats.instsVisited));
+    counters.add("optSeamTotal",
+                 static_cast<int64_t>(stats.instsTotal));
 }
 
 bool
@@ -481,6 +511,7 @@ MergeEngine::tryMerge(BlockId hb, BlockId s)
     }
 
     uint32_t vregs_before = fn.numVregs();
+    bool opt_fixpoint = false;
 
     if (illegal.empty()) {
         counters.add("trialsRun");
@@ -540,7 +571,17 @@ MergeEngine::tryMerge(BlockId hb, BlockId s)
 
         if (opts.optimizeDuringMerge) {
             ScopedStatTimer timer(counters, "usMergeOptimize");
-            optimizeBlock(fn, scratch, live_out, &t->opt);
+            // Seam-scoped start: sound only when HB's body is a known
+            // optimizer fixpoint -- the combine copied [0, firstDirty)
+            // from it verbatim, so the prefix's certification carries
+            // over (DESIGN.md §14). Otherwise run the full pass.
+            size_t seam = (incrOpt && isFixpoint(hb))
+                              ? t->combine.firstDirty
+                              : 0;
+            OptPassStats pass_stats;
+            optimizeBlockFrom(fn, scratch, live_out, seam, &t->opt,
+                              &opt_fixpoint, &pass_stats);
+            addOptStats(pass_stats);
         }
 
         // --- LegalBlock: structural constraints on the result ---
@@ -563,6 +604,10 @@ MergeEngine::tryMerge(BlockId hb, BlockId s)
             hb_block->insts.swap(scratch.insts);
             if (kind != MergeKind::Simple)
                 am.branchesRewritten(hb, hb_old_succs);
+            // The installed body came out of the optimizer; record
+            // whether it is a certified fixpoint the next trial may
+            // seam from.
+            setFixpoint(hb, opts.optimizeDuringMerge && opt_fixpoint);
 
             switch (kind) {
               case MergeKind::Simple: {
@@ -571,16 +616,19 @@ MergeEngine::tryMerge(BlockId hb, BlockId s)
                 // instead of invalidating.
                 std::vector<BlockId> s_succs = s_block->successors();
                 fn.removeBlock(s);
+                setFixpoint(s, false);
                 am.blockAbsorbed(hb, s, hb_old_succs, s_succs);
                 break;
               }
               case MergeKind::TailDup:
                 // Frequencies only: no analysis depends on them.
                 scaleBranchFreqs(*s_block, 1.0 - share);
+                setFixpoint(s, false);
                 counters.add("tailDuplicated");
                 break;
               case MergeKind::Peel:
                 scaleBranchFreqs(*s_block, 1.0 - share);
+                setFixpoint(s, false);
                 counters.add("peeledIterations");
                 break;
               case MergeKind::Unroll:
@@ -612,6 +660,9 @@ MergeEngine::tryMerge(BlockId hb, BlockId s)
                       hb_block->size();
         size_t piece = std::min(room / 2, s_block->size() / 2);
         BlockId rest = splitBlockAt(fn, s, piece);
+        // Both outcomes rewrite S's instructions in place (predicate
+        // stabilization), so any fixpoint certification is stale.
+        setFixpoint(s, false);
         if (rest != kNoBlock) {
             // A new block exists; no incremental patch applies.
             am.invalidateAll();
@@ -767,7 +818,14 @@ MergeEngine::runTrialSpeculative(const TrialPlan &plan,
 
     if (opts.optimizeDuringMerge) {
         Timer timer;
-        optimizeBlock(fn, scratch, live_out, &t.opt);
+        // Safe to read the fixpoint flag from a worker: flags only
+        // change at commit time, and no commit runs between fan-out
+        // and wait (the consume loop is strictly after).
+        size_t seam = (incrOpt && isFixpoint(plan.hb))
+                          ? t.combine.firstDirty
+                          : 0;
+        optimizeBlockFrom(fn, scratch, live_out, seam, &t.opt,
+                          &out.fixpoint, &out.optStats);
         out.usOptimize = timer.elapsedMicros();
     }
 
@@ -816,8 +874,10 @@ MergeEngine::consumeTrial(const TrialPlan &plan, TrialResult &r)
 
     counters.add("trialsRun");
     counters.add("usMergeCombine", r.usCombine);
-    if (opts.optimizeDuringMerge)
+    if (opts.optimizeDuringMerge) {
         counters.add("usMergeOptimize", r.usOptimize);
+        addOptStats(r.optStats);
+    }
     fn.skipVregs(r.vregsBurned);
 
     if (r.combineFailed) {
@@ -841,20 +901,24 @@ MergeEngine::consumeTrial(const TrialPlan &plan, TrialResult &r)
     hb_block->insts = std::move(r.mergedInsts);
     if (plan.kind != MergeKind::Simple)
         am.branchesRewritten(plan.hb, hb_old_succs);
+    setFixpoint(plan.hb, opts.optimizeDuringMerge && r.fixpoint);
 
     switch (plan.kind) {
       case MergeKind::Simple: {
         std::vector<BlockId> s_succs = s_block->successors();
         fn.removeBlock(plan.s);
+        setFixpoint(plan.s, false);
         am.blockAbsorbed(plan.hb, plan.s, hb_old_succs, s_succs);
         break;
       }
       case MergeKind::TailDup:
         scaleBranchFreqs(*s_block, 1.0 - r.share);
+        setFixpoint(plan.s, false);
         counters.add("tailDuplicated");
         break;
       case MergeKind::Peel:
         scaleBranchFreqs(*s_block, 1.0 - r.share);
+        setFixpoint(plan.s, false);
         counters.add("peeledIterations");
         break;
       case MergeKind::Unroll:

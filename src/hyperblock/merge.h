@@ -62,6 +62,17 @@
  * numbering, and emitted IR are bit-identical to the serial path,
  * which remains the oracle: CHF_PARALLEL_TRIALS=0 (or
  * MergeOptions::parallelTrials=false) forces serial execution.
+ *
+ * Seam-scoped incremental trial optimization (DESIGN.md §14). The
+ * dominant trial cost is re-optimizing the whole combined block even
+ * though everything below the first consumed branch is a verbatim copy
+ * of the hyperblock's already-optimized body. When that body is a
+ * known fixpoint of the scalar-opt pipeline (tracked per block across
+ * commits), trials hand the combine seam to optimizeBlockFrom, which
+ * replays the unchanged prefix in table-maintenance mode and rewrites
+ * only from the seam down -- reaching the exact same fixpoint byte for
+ * byte. CHF_INCR_OPT=0 (or MergeOptions::incrementalOpt=false) forces
+ * the full pass for differential testing.
  */
 
 #ifndef CHF_HYPERBLOCK_MERGE_H
@@ -126,6 +137,17 @@ struct MergeOptions
      * CHF_TRIAL_CACHE=0 for differential runs.
      */
     bool useTrialCache = true;
+
+    /**
+     * Seam-scoped incremental trial optimization (DESIGN.md §14): when
+     * the hyperblock's body is a known fixpoint of the scalar-opt
+     * pipeline (its producing run's last round made zero changes),
+     * trials seed the optimizer at the combine seam instead of
+     * position 0, replaying the unchanged prefix in table-maintenance
+     * mode. Bit-identical to the full pass; also globally switchable
+     * off with CHF_INCR_OPT=0 for differential runs.
+     */
+    bool incrementalOpt = true;
 
     /** Record every tryMerge attempt in MergeEngine::trace(). */
     bool recordMergeTrace = false;
@@ -275,6 +297,31 @@ class MergeEngine
     /** False when CHF_PARALLEL_TRIALS=0 forces serial trials. */
     static bool parallelTrialsEnabledByEnv();
 
+    /** False when CHF_INCR_OPT=0 forces full-pass trial optimization. */
+    static bool incrementalOptEnabledByEnv();
+
+    /**
+     * Forget every per-block fixpoint certification. Must be called
+     * whenever block bodies change outside the engine's own commit
+     * paths -- e.g. a transactional rollback restoring pre-phase
+     * bodies while the engine lives on -- since a stale certification
+     * would let a later trial seam-skip a prefix that is no longer a
+     * known optimizer fixpoint.
+     */
+    void invalidateFixpoints();
+
+    /**
+     * Provable lower bound on the combined block's size estimate; the
+     * fast path's pre-screen rejects a trial without running it when
+     * trialSizeFloor + sizeHeadroom > target.maxInsts. Counts the
+     * instructions no legal trial can shed: every branch and store of
+     * both participants (minus HB's consumed branches), plus all other
+     * instructions when optimizeDuringMerge is off. Public so tests
+     * can pin the formula and the firing condition.
+     */
+    size_t trialSizeFloor(const BasicBlock &hb_block,
+                          const BasicBlock &source) const;
+
   private:
     /** Persistent scratch arena reused across trials (fast path); the
      *  slow path constructs a fresh instance per trial so differential
@@ -338,6 +385,8 @@ class MergeEngine
         int64_t usCombine = 0;
         int64_t usOptimize = 0;
         int64_t usLegal = 0;
+        OptPassStats optStats;     ///< per-pass timing + visit counts
+        bool fixpoint = false;     ///< optimize ended at a known fixpoint
         std::exception_ptr error;  ///< rethrown at the serial position
     };
 
@@ -378,9 +427,30 @@ class MergeEngine
                       const BasicBlock &source,
                       const Liveness &liveness) const;
 
-    /** Provable lower bound on the combined block's size estimate. */
-    size_t trialSizeFloor(const BasicBlock &hb_block,
-                          const BasicBlock &source) const;
+    /** Merge one trial's optimizer pass stats into the counters. */
+    void addOptStats(const OptPassStats &stats);
+
+    /**
+     * True when block @p b's current body is a known fixpoint of the
+     * scalar-opt pipeline: the optimizeBlockFrom run that produced it
+     * ended with a zero-change round, and the body has not been
+     * mutated since. Such a body's combine-seam prefix may be replayed
+     * in table-maintenance mode (optimize.h).
+     */
+    bool
+    isFixpoint(BlockId b) const
+    {
+        return b < fixpointKnown.size() && fixpointKnown[b] != 0;
+    }
+
+    /** Record (or conservatively clear) a block's fixpoint flag. */
+    void
+    setFixpoint(BlockId b, bool known)
+    {
+        if (b >= fixpointKnown.size())
+            fixpointKnown.resize(b + 1, 0);
+        fixpointKnown[b] = known ? 1 : 0;
+    }
 
     Function &fn;
     MergeOptions opts;
@@ -393,8 +463,17 @@ class MergeEngine
 
     bool fastPath = false;
     bool parallelEnabled = false;
+    bool incrOpt = false;
     uint64_t mutations = 0;
     TrialScratch arena;
+
+    /** Per-block-id fixpoint flags (isFixpoint/setFixpoint). Set when
+     *  a commit installs an optimizer-certified body; cleared whenever
+     *  the engine mutates a block's instructions outside that path
+     *  (frequency rescales, splits, in-place stabilizations). Only
+     *  read by workers between fan-out and wait, when no commit can
+     *  run, so unsynchronized access is safe. */
+    std::vector<uint8_t> fixpointKnown;
 
     /** Per-pool-worker scratch arenas for speculative trials, indexed
      *  by WorkStealingPool::currentWorkerIndex() (one extra slot for a

@@ -265,6 +265,7 @@ detail::compileUnit(Program &program, const ProfileData &profile,
     merge.enableBlockSplitting = options.blockSplitting;
     merge.parallelTrials = options.parallelTrials;
     merge.useTrialCache = options.useTrialCache;
+    merge.incrementalOpt = options.useIncrementalOpt;
     merge.cancel = options.cancel;
 
     FormationOptions formation;

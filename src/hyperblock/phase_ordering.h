@@ -86,6 +86,11 @@ struct CompileOptions
      *  globally switchable off with CHF_TRIAL_CACHE=0. */
     bool useTrialCache = true;
 
+    /** Seam-scoped incremental trial optimization (DESIGN.md §14).
+     *  Bit-identical to the full per-trial pass; off (or CHF_INCR_OPT=0)
+     *  forces the full pass for differential runs. */
+    bool useIncrementalOpt = true;
+
     /** Verify semantics-preservation hooks (IR verifier) per stage. */
     bool verifyStages = true;
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "backend/asm_writer.h"
+#include "hyperblock/merge.h"
 #include "pipeline/session.h"
 #include "support/fault_inject.h"
 #include "support/hash.h"
@@ -412,6 +413,11 @@ CompileServer::handle(const std::string &line)
 
     if (*op == "stats") {
         ServerStats s = stats();
+        // Process-wide trial-memo store occupancy, reported beside the
+        // seam hit ratio: together they describe how much trial work
+        // the service is skipping (memoized failures + seam-scoped
+        // optimization).
+        TrialMemoStats memo = trialMemoStats();
         std::ostringstream os;
         os << "{\"status\":\"ok\"";
         if (!id.empty())
@@ -423,6 +429,11 @@ CompileServer::handle(const std::string &line)
            << ",\"timeouts\":" << s.timeouts
            << ",\"errors\":" << s.errors
            << ",\"cache_entries\":" << cacheIndex.size()
+           << ",\"trial_memo_hits\":" << memo.hits
+           << ",\"trial_memo_misses\":" << memo.misses
+           << ",\"trial_memo_entries\":" << memo.entries
+           << ",\"opt_seam_visited\":" << s.optSeamVisited
+           << ",\"opt_seam_total\":" << s.optSeamTotal
            << ",\"in_flight\":" << inFlight.load() << "}";
         return os.str();
     }
@@ -613,6 +624,10 @@ CompileServer::handleCompileAdmitted(
         ++counters.compiled;
         if (timed_out)
             ++counters.timeouts;
+        counters.optSeamVisited += static_cast<uint64_t>(
+            result.totals.get("optSeamVisited"));
+        counters.optSeamTotal += static_cast<uint64_t>(
+            result.totals.get("optSeamTotal"));
     }
 
     // Response body: everything except "id"/"cached", so the cached

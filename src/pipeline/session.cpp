@@ -218,6 +218,7 @@ Session::compile(int threads)
         co.blockSplitting = conf.blockSplitting;
         co.parallelTrials = conf.parallelTrials;
         co.useTrialCache = conf.useTrialCache;
+        co.useIncrementalOpt = conf.useIncrementalOpt;
         co.verifyStages = conf.verifyStages;
         co.keepGoing = conf.keepGoing;
         co.diags = conf.keepGoing ? &slot.diags : nullptr;
@@ -403,6 +404,7 @@ compileProgram(Program &program, const ProfileData &profile,
                               .withBlockSplitting(options.blockSplitting)
                               .withParallelTrials(options.parallelTrials)
                               .withTrialCache(options.useTrialCache)
+                              .withIncrementalOpt(options.useIncrementalOpt)
                               .withVerifyStages(options.verifyStages)
                               .withKeepGoing(options.keepGoing &&
                                              options.diags != nullptr);

@@ -86,6 +86,15 @@ struct SessionOptions
      */
     bool useTrialCache = true;
 
+    /**
+     * Seam-scoped incremental trial optimization (DESIGN.md §14): the
+     * per-trial scalar-opt pipeline starts at the combine seam when
+     * the hyperblock body is a known fixpoint, instead of re-scanning
+     * the whole block. Bit-identical to the full pass by contract; off
+     * (or CHF_INCR_OPT=0) forces the full pass for differential runs.
+     */
+    bool useIncrementalOpt = true;
+
     /** Verify semantics-preservation hooks (IR verifier) per stage. */
     bool verifyStages = true;
 
@@ -185,6 +194,13 @@ struct SessionOptions
     withTrialCache(bool on)
     {
         useTrialCache = on;
+        return *this;
+    }
+
+    SessionOptions &
+    withIncrementalOpt(bool on)
+    {
+        useIncrementalOpt = on;
         return *this;
     }
 

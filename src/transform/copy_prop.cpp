@@ -8,7 +8,8 @@
 namespace chf {
 
 size_t
-copyPropagateBlock(BasicBlock &bb, CopyPropScratch *scratch)
+copyPropagateBlock(BasicBlock &bb, CopyPropScratch *scratch,
+                   size_t begin)
 {
     // Dense map from copy destination to its source operand, valid
     // until either side is redefined. Epoch stamping makes the
@@ -49,7 +50,29 @@ copyPropagateBlock(BasicBlock &bb, CopyPropScratch *scratch)
         t.active.push_back(dest);
     };
 
-    for (auto &inst : bb.insts) {
+    if (begin > bb.insts.size())
+        begin = bb.insts.size();
+
+    // Warm-up over the fixpoint prefix [0, begin): on a prefix where
+    // the full pass makes zero rewrites, the lookups are no-ops, so
+    // only the table maintenance (invalidate + insert) needs to run.
+    // A rewrite always changes instruction bytes (the table never maps
+    // a register to itself), so "zero changes" really implies "no
+    // lookup hits".
+    for (size_t wi = 0; wi < begin; ++wi) {
+        const Instruction &inst = bb.insts[wi];
+        if (inst.hasDest()) {
+            invalidate(inst.dest);
+            if (inst.op == Opcode::Mov && !inst.pred.valid() &&
+                !(inst.srcs[0].isReg() &&
+                  inst.srcs[0].reg == inst.dest)) {
+                insert(inst.dest, inst.srcs[0]);
+            }
+        }
+    }
+
+    for (size_t ii = begin; ii < bb.insts.size(); ++ii) {
+        Instruction &inst = bb.insts[ii];
         // Rewrite register sources.
         for (int i = 0; i < inst.numSrcs(); ++i) {
             if (!inst.srcs[i].isReg())
@@ -91,36 +114,52 @@ copyPropagateFunction(Function &fn)
 
 size_t
 coalesceMoves(BasicBlock &bb, const BitVector &live_out,
-              CoalesceScratch *scratch)
+              CoalesceScratch *scratch, size_t *min_touched)
 {
     size_t nv = live_out.size();
 
-    // Per-register def counts, use counts, and predicate-use flags.
+    // Per-register def counts, use counts, and predicate-use flags,
+    // epoch-stamped: a register's slots are zeroed on first touch, so
+    // a call costs O(registers mentioned) instead of O(numVregs).
     CoalesceScratch local;
-    CoalesceScratch &t = scratch ? *scratch : local;
-    std::vector<uint32_t> &defs = t.defs, &uses = t.uses;
-    std::vector<uint8_t> &pred_use = t.predUse;
-    defs.assign(nv, 0);
-    uses.assign(nv, 0);
-    pred_use.assign(nv, 0);
-    auto recount = [&]() {
-        std::fill(defs.begin(), defs.end(), 0);
-        std::fill(uses.begin(), uses.end(), 0);
-        std::fill(pred_use.begin(), pred_use.end(), 0);
-        for (const auto &inst : bb.insts) {
-            for (int s = 0; s < inst.numSrcs(); ++s) {
-                if (inst.srcs[s].isReg() && inst.srcs[s].reg < nv)
-                    uses[inst.srcs[s].reg]++;
-            }
-            if (inst.pred.valid() && inst.pred.reg < nv)
-                pred_use[inst.pred.reg] = 1;
-            if (inst.hasDest() && inst.dest < nv)
-                defs[inst.dest]++;
+    CoalesceScratch &sc = scratch ? *scratch : local;
+    if (++sc.epoch == 0) {
+        std::fill(sc.stamp.begin(), sc.stamp.end(), 0u);
+        sc.epoch = 1;
+    }
+    if (sc.stamp.size() < nv) {
+        sc.stamp.resize(nv, 0u);
+        sc.defs.resize(nv, 0u);
+        sc.uses.resize(nv, 0u);
+        sc.predUse.resize(nv, 0u);
+    }
+    auto touch = [&](Vreg v) {
+        if (sc.stamp[v] != sc.epoch) {
+            sc.stamp[v] = sc.epoch;
+            sc.defs[v] = 0;
+            sc.uses[v] = 0;
+            sc.predUse[v] = 0;
         }
     };
-    recount();
+    for (const auto &inst : bb.insts) {
+        for (int s = 0; s < inst.numSrcs(); ++s) {
+            if (inst.srcs[s].isReg() && inst.srcs[s].reg < nv) {
+                touch(inst.srcs[s].reg);
+                sc.uses[inst.srcs[s].reg]++;
+            }
+        }
+        if (inst.pred.valid() && inst.pred.reg < nv) {
+            touch(inst.pred.reg);
+            sc.predUse[inst.pred.reg] = 1;
+        }
+        if (inst.hasDest() && inst.dest < nv) {
+            touch(inst.dest);
+            sc.defs[inst.dest]++;
+        }
+    }
 
     size_t coalesced = 0;
+    size_t first_touched = bb.insts.size();
     bool changed = true;
     while (changed) {
         changed = false;
@@ -135,7 +174,8 @@ coalesceMoves(BasicBlock &bb, const BitVector &live_out,
             if (t == x || t >= nv || x >= nv)
                 continue;
             // t must be a one-def, one-use (this mov) local temporary.
-            if (defs[t] != 1 || uses[t] != 1 || pred_use[t] ||
+            touch(t);
+            if (sc.defs[t] != 1 || sc.uses[t] != 1 || sc.predUse[t] ||
                 live_out.test(t)) {
                 continue;
             }
@@ -168,12 +208,22 @@ coalesceMoves(BasicBlock &bb, const BitVector &live_out,
 
             bb.insts[i].dest = x;
             bb.insts.erase(bb.insts.begin() + static_cast<long>(j));
+            // Exact count update replacing the old full recount: the
+            // def at i moved from t to x (defs[t]--, defs[x]++) and
+            // the erased mov dropped one use of t and one def of x
+            // (uses[t]--, defs[x]--), so x's counts are net unchanged
+            // and no predicate use was added or removed.
+            sc.defs[t]--;
+            sc.uses[t]--;
             ++coalesced;
             changed = true;
-            recount();
+            if (i < first_touched)
+                first_touched = i;
             break;
         }
     }
+    if (min_touched)
+        *min_touched = coalesced > 0 ? first_touched : bb.insts.size();
     return coalesced;
 }
 

@@ -5,7 +5,6 @@
 #include <map>
 #include <optional>
 #include <functional>
-#include <set>
 #include <tuple>
 
 #include "analysis/dominators.h"
@@ -37,15 +36,42 @@ struct ExprKey
     }
 };
 
+/** splitmix64 finalizer: cheap, well-distributed slot hash. */
+inline uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Value table over the dense epoch-stamped storage in GvnScratch. The
+ * lookup/insert semantics match the std::map implementation this
+ * replaces key-for-key (recordExpr overwrites, iteration order is
+ * never observed), so the pass output is bit-identical; only the
+ * per-call allocations are gone.
+ */
 class ValueTable
 {
   public:
-    explicit ValueTable(GvnScratch &regs) : regs(regs) {}
+    explicit ValueTable(GvnScratch &regs) : regs(regs)
+    {
+        if (regs.constSlots.empty())
+            regs.constSlots.resize(64);
+        if (regs.exprSlots.empty())
+            regs.exprSlots.resize(128);
+    }
 
     ValueNum
     fresh()
     {
-        return next++;
+        ValueNum vn = next++;
+        if (vn >= regs.vn.size())
+            regs.vn.resize(vn + 1);
+        regs.vn[vn] = GvnScratch::VnInfo{};
+        return vn;
     }
 
     ValueNum
@@ -61,19 +87,29 @@ class ValueTable
     ValueNum
     ofConst(int64_t value)
     {
-        auto it = constVN.find(value);
-        if (it != constVN.end())
-            return it->second;
+        size_t mask = regs.constSlots.size() - 1;
+        size_t idx = mix64(static_cast<uint64_t>(value)) & mask;
+        while (true) {
+            const auto &slot = regs.constSlots[idx];
+            if (slot.stamp != regs.epoch)
+                break;
+            if (slot.key == value)
+                return slot.vn;
+            idx = (idx + 1) & mask;
+        }
         ValueNum vn = fresh();
-        constVN[value] = vn;
-        vnConst[vn] = value;
+        regs.vn[vn].hasConst = 1;
+        regs.vn[vn].constVal = value;
         if (value == 0 || value == 1)
-            boolVNs.insert(vn);
+            regs.vn[vn].isBool = 1;
+        if ((constCount + 1) * 2 > regs.constSlots.size())
+            growConsts();
+        insertConst(value, vn);
         return vn;
     }
 
     /** Mark a value number as known 0/1 (test results etc.). */
-    void markBoolean(ValueNum vn) { boolVNs.insert(vn); }
+    void markBoolean(ValueNum vn) { regs.vn[vn].isBool = 1; }
 
     struct BoolExpr
     {
@@ -87,20 +123,27 @@ class ValueTable
     recordBoolExpr(ValueNum vn, Opcode op, ValueNum a, ValueNum b,
                    Vreg a_holder)
     {
-        boolExprs[vn] = {op, a, b, a_holder};
+        auto &info = regs.vn[vn];
+        info.hasBoolExpr = 1;
+        info.beOp = op;
+        info.beA = a;
+        info.beB = b;
+        info.beHolder = a_holder;
     }
 
-    const BoolExpr *
+    std::optional<BoolExpr>
     boolExprOf(ValueNum vn) const
     {
-        auto it = boolExprs.find(vn);
-        return it == boolExprs.end() ? nullptr : &it->second;
+        if (vn >= regs.vn.size() || !regs.vn[vn].hasBoolExpr)
+            return std::nullopt;
+        const auto &info = regs.vn[vn];
+        return BoolExpr{info.beOp, info.beA, info.beB, info.beHolder};
     }
 
     bool
     isBoolean(ValueNum vn) const
     {
-        return boolVNs.count(vn) > 0;
+        return vn < regs.vn.size() && regs.vn[vn].isBool;
     }
 
     ValueNum
@@ -121,10 +164,9 @@ class ValueTable
     std::optional<int64_t>
     constantOf(ValueNum vn) const
     {
-        auto it = vnConst.find(vn);
-        if (it == vnConst.end())
+        if (vn >= regs.vn.size() || !regs.vn[vn].hasConst)
             return std::nullopt;
-        return it->second;
+        return regs.vn[vn].constVal;
     }
 
     void
@@ -148,26 +190,129 @@ class ValueTable
     std::optional<Holder>
     lookupExpr(const ExprKey &key) const
     {
-        auto it = exprs.find(key);
-        if (it == exprs.end())
-            return std::nullopt;
-        return it->second;
+        size_t mask = regs.exprSlots.size() - 1;
+        size_t idx = hashExpr(key) & mask;
+        while (true) {
+            const auto &slot = regs.exprSlots[idx];
+            if (slot.stamp != regs.epoch)
+                return std::nullopt;
+            if (slotMatches(slot, key))
+                return Holder{slot.holderReg, slot.holderVN};
+            idx = (idx + 1) & mask;
+        }
     }
 
     void
     recordExpr(const ExprKey &key, Vreg holder, ValueNum vn)
     {
-        exprs[key] = Holder{holder, vn};
+        if ((exprCount + 1) * 2 > regs.exprSlots.size())
+            growExprs();
+        size_t mask = regs.exprSlots.size() - 1;
+        size_t idx = hashExpr(key) & mask;
+        while (true) {
+            auto &slot = regs.exprSlots[idx];
+            if (slot.stamp != regs.epoch) {
+                slot.stamp = regs.epoch;
+                slot.op = key.op;
+                slot.predPolarity = key.predPolarity ? 1 : 0;
+                slot.a = key.a;
+                slot.b = key.b;
+                slot.c = key.c;
+                slot.pred = key.pred;
+                slot.memEpoch = key.memEpoch;
+                slot.holderReg = holder;
+                slot.holderVN = vn;
+                ++exprCount;
+                return;
+            }
+            if (slotMatches(slot, key)) {
+                slot.holderReg = holder;
+                slot.holderVN = vn;
+                return;
+            }
+            idx = (idx + 1) & mask;
+        }
     }
 
   private:
+    static uint64_t
+    hashExpr(const ExprKey &key)
+    {
+        uint64_t h = static_cast<uint64_t>(key.op);
+        h = mix64(h ^ key.a);
+        h = mix64(h ^ key.b);
+        h = mix64(h ^ key.c);
+        h = mix64(h ^ key.pred ^ (key.predPolarity ? 1ull << 32 : 0));
+        return mix64(h ^ key.memEpoch);
+    }
+
+    static bool
+    slotMatches(const GvnScratch::ExprSlot &slot, const ExprKey &key)
+    {
+        return slot.op == key.op && slot.a == key.a &&
+               slot.b == key.b && slot.c == key.c &&
+               slot.pred == key.pred &&
+               slot.predPolarity == (key.predPolarity ? 1 : 0) &&
+               slot.memEpoch == key.memEpoch;
+    }
+
+    void
+    insertConst(int64_t value, ValueNum vn)
+    {
+        size_t mask = regs.constSlots.size() - 1;
+        size_t idx = mix64(static_cast<uint64_t>(value)) & mask;
+        while (regs.constSlots[idx].stamp == regs.epoch)
+            idx = (idx + 1) & mask;
+        regs.constSlots[idx] = {regs.epoch, value, vn};
+        ++constCount;
+    }
+
+    void
+    growConsts()
+    {
+        std::vector<GvnScratch::ConstSlot> old;
+        old.swap(regs.constSlots);
+        regs.constSlots.resize(old.size() * 2);
+        size_t mask = regs.constSlots.size() - 1;
+        for (const auto &slot : old) {
+            if (slot.stamp != regs.epoch)
+                continue;
+            size_t idx = mix64(static_cast<uint64_t>(slot.key)) & mask;
+            while (regs.constSlots[idx].stamp == regs.epoch)
+                idx = (idx + 1) & mask;
+            regs.constSlots[idx] = slot;
+        }
+    }
+
+    void
+    growExprs()
+    {
+        std::vector<GvnScratch::ExprSlot> old;
+        old.swap(regs.exprSlots);
+        regs.exprSlots.resize(old.size() * 2);
+        size_t mask = regs.exprSlots.size() - 1;
+        for (const auto &slot : old) {
+            if (slot.stamp != regs.epoch)
+                continue;
+            ExprKey key;
+            key.op = slot.op;
+            key.a = slot.a;
+            key.b = slot.b;
+            key.c = slot.c;
+            key.pred = slot.pred;
+            key.predPolarity = slot.predPolarity != 0;
+            key.memEpoch = slot.memEpoch;
+            size_t idx = hashExpr(key) & mask;
+            while (regs.exprSlots[idx].stamp == regs.epoch)
+                idx = (idx + 1) & mask;
+            regs.exprSlots[idx] = slot;
+        }
+    }
+
     ValueNum next = 1;
     GvnScratch &regs;
-    std::map<int64_t, ValueNum> constVN;
-    std::map<ValueNum, int64_t> vnConst;
-    std::map<ExprKey, Holder> exprs;
-    std::set<ValueNum> boolVNs;
-    std::map<ValueNum, BoolExpr> boolExprs;
+    size_t constCount = 0;
+    size_t exprCount = 0;
 };
 
 /** Algebraic identities; returns the replacement operand if one applies. */
@@ -228,8 +373,8 @@ simplifyAlgebraic(const Instruction &inst, ValueTable &table)
         // join is just the guard of the diamond. Collapsing it keeps
         // the arm condition (often a long dependence chain) off the
         // join's predicate.
-        const auto *ea = table.boolExprOf(va);
-        const auto *eb = table.boolExprOf(vb);
+        const auto ea = table.boolExprOf(va);
+        const auto eb = table.boolExprOf(vb);
         if (ea && eb) {
             bool pair = (ea->op == Opcode::Band &&
                          eb->op == Opcode::Bandc) ||
@@ -302,7 +447,8 @@ simplifyAlgebraic(const Instruction &inst, ValueTable &table)
 } // namespace
 
 size_t
-valueNumberBlock(Function &fn, BasicBlock &bb, GvnScratch *scratch)
+valueNumberBlock(Function &fn, BasicBlock &bb, GvnScratch *scratch,
+                 size_t begin)
 {
     (void)fn;
     GvnScratch local;
@@ -310,13 +456,97 @@ valueNumberBlock(Function &fn, BasicBlock &bb, GvnScratch *scratch)
     if (++regs.epoch == 0) {
         // Stamp wraparound (2^32 calls): flush everything once.
         std::fill(regs.regStamp.begin(), regs.regStamp.end(), 0u);
+        for (auto &slot : regs.constSlots)
+            slot.stamp = 0;
+        for (auto &slot : regs.exprSlots)
+            slot.stamp = 0;
         regs.epoch = 1;
     }
     ValueTable table(regs);
     uint64_t mem_epoch = 0;
     size_t simplified = 0;
+    if (begin > bb.insts.size())
+        begin = bb.insts.size();
 
-    for (auto &inst : bb.insts) {
+    // Warm-up over the fixpoint prefix [0, begin): replay exactly the
+    // table mutations the full pass would make there, skipping the
+    // rewrite attempts. On a prefix where the full pass is known to
+    // make zero changes, no fold/strength-reduction/algebraic rule
+    // fires and every CSE lookup falls through to the fresh-number
+    // path, so the table state at `begin` -- including the numbering
+    // itself -- is identical to a full run's. (DESIGN.md section 14
+    // spells out the argument case by case.)
+    for (size_t wi = 0; wi < begin; ++wi) {
+        const Instruction &inst = bb.insts[wi];
+        ValueNum pred_vn = inst.pred.valid()
+                               ? table.ofReg(inst.pred.reg)
+                               : 0;
+        if (inst.op == Opcode::Store) {
+            ++mem_epoch;
+            continue;
+        }
+        if (inst.isBranch())
+            continue;
+
+        if (inst.op == Opcode::Load) {
+            ExprKey key;
+            key.op = Opcode::Load;
+            key.a = table.ofOperand(inst.srcs[0]);
+            key.b = table.ofOperand(inst.srcs[1]);
+            key.pred = pred_vn;
+            key.predPolarity = inst.pred.onTrue;
+            key.memEpoch = mem_epoch;
+            ValueNum vn = table.fresh();
+            table.setReg(inst.dest, vn);
+            table.recordExpr(key, inst.dest, vn);
+            continue;
+        }
+
+        if (inst.op == Opcode::Mov) {
+            ValueNum vn = table.ofOperand(inst.srcs[0]);
+            if (!inst.pred.valid())
+                table.setReg(inst.dest, vn);
+            else
+                table.setReg(inst.dest, table.fresh());
+            continue;
+        }
+
+        ValueNum va = table.ofOperand(inst.srcs[0]);
+        ValueNum vb = inst.numSrcs() > 1 ? table.ofOperand(inst.srcs[1])
+                                         : table.ofConst(0);
+        ExprKey key;
+        key.op = inst.op;
+        key.a = va;
+        key.b = vb;
+        if (opcodeIsCommutative(inst.op) && key.b < key.a)
+            std::swap(key.a, key.b);
+        key.pred = pred_vn;
+        key.predPolarity = inst.pred.onTrue;
+
+        ValueNum vn = table.fresh();
+        if (!inst.pred.valid()) {
+            bool boolean = opcodeIsTest(inst.op) ||
+                           inst.op == Opcode::Band ||
+                           inst.op == Opcode::Bandc;
+            if ((inst.op == Opcode::And || inst.op == Opcode::Or ||
+                 inst.op == Opcode::Xor) &&
+                table.isBoolean(va) && table.isBoolean(vb)) {
+                boolean = true;
+            }
+            if (boolean)
+                table.markBoolean(vn);
+            if ((inst.op == Opcode::Band || inst.op == Opcode::Bandc) &&
+                inst.srcs[0].isReg()) {
+                table.recordBoolExpr(vn, inst.op, va, vb,
+                                     inst.srcs[0].reg);
+            }
+        }
+        table.setReg(inst.dest, vn);
+        table.recordExpr(key, inst.dest, vn);
+    }
+
+    for (size_t ii = begin; ii < bb.insts.size(); ++ii) {
+        Instruction &inst = bb.insts[ii];
         // Resolve predicates on known constants: a guard that always
         // holds is dropped (for branches too -- by the one-branch-fires
         // invariant the other exits were already dead); a pure

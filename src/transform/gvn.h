@@ -27,25 +27,81 @@
 namespace chf {
 
 /**
- * Reusable register->value-number table for valueNumberBlock: the one
- * per-vreg map on the pass's hot path, densified and epoch-stamped so
- * a new block starts with an O(1) reset and the vectors keep their
- * capacity across merge trials.
+ * Reusable working storage for valueNumberBlock, densified and
+ * epoch-stamped so a new block starts with an O(1) reset and the
+ * vectors keep their capacity across merge trials. Besides the
+ * register->VN table this holds every formerly per-call map of the
+ * pass (constant<->VN, expression->holder, boolean facts), so a warm
+ * call allocates nothing.
  */
 struct GvnScratch
 {
     std::vector<uint32_t> regVN;
     std::vector<uint32_t> regStamp; ///< valid iff regStamp[v] == epoch
     uint32_t epoch = 0;
+
+    /**
+     * Per-value-number side data, indexed by VN. No stamp: value
+     * numbers are assigned per call starting from 1, and every VN used
+     * in a call is minted by that call's fresh(), which resets its
+     * entry -- stale rows from earlier epochs are never read.
+     */
+    struct VnInfo
+    {
+        uint8_t hasConst = 0;
+        uint8_t isBool = 0;
+        uint8_t hasBoolExpr = 0;
+        int64_t constVal = 0;
+        Opcode beOp = Opcode::Mov; ///< recorded bool expr: op(a, b)
+        uint32_t beA = 0, beB = 0;
+        Vreg beHolder = kNoVreg; ///< register holding `a` at record time
+    };
+    std::vector<VnInfo> vn;
+
+    /**
+     * Open-addressed, epoch-stamped hash tables replacing the per-call
+     * std::maps (constant -> VN; expression -> holding register).
+     * Slots from earlier epochs read as empty; the load factor stays
+     * under 1/2 so probes terminate. Nothing is ever deleted within an
+     * epoch, so linear probing stays consistent.
+     */
+    struct ConstSlot
+    {
+        uint32_t stamp = 0;
+        int64_t key = 0;
+        uint32_t vn = 0;
+    };
+    std::vector<ConstSlot> constSlots;
+
+    struct ExprSlot
+    {
+        uint32_t stamp = 0;
+        Opcode op = Opcode::Mov;
+        uint8_t predPolarity = 0;
+        uint32_t a = 0, b = 0, c = 0, pred = 0;
+        uint64_t memEpoch = 0;
+        Vreg holderReg = kNoVreg;
+        uint32_t holderVN = 0;
+    };
+    std::vector<ExprSlot> exprSlots;
 };
 
 /**
  * Value-number @p bb in place.
+ *
+ * @p begin marks a prefix [0, begin) already known to be at the
+ * pass's fixpoint (see optimizeBlockFrom): the prefix is replayed in
+ * a warm-up mode that performs exactly the table mutations the full
+ * pass would, but skips the lookups whose rewrites provably cannot
+ * fire there. With begin == 0 the behavior is the full pass,
+ * bit-identical to the pre-incremental implementation.
+ *
  * @return number of instructions simplified (folded, strength-reduced,
  *         or rewritten to moves).
  */
 size_t valueNumberBlock(Function &fn, BasicBlock &bb,
-                        GvnScratch *scratch = nullptr);
+                        GvnScratch *scratch = nullptr,
+                        size_t begin = 0);
 
 /** Apply valueNumberBlock to every block. @return total simplified. */
 size_t valueNumberFunction(Function &fn);

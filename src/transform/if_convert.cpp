@@ -129,6 +129,11 @@ combineBlocksAt(VregCursor &vregs, BasicBlock &hb, const BasicBlock &s,
     collectConsumed(hb, s.id(), sc.consumed);
     if (sc.consumed.empty())
         return false;
+    // Everything below the first consumed branch is copied into the
+    // rebuilt body verbatim and position-aligned (the consumed list is
+    // ascending, and insertions -- snapshots, the OR chain, S's
+    // instructions -- all happen at or after it).
+    sc.firstDirty = sc.consumed[0];
 
     // Classify the entry condition.
     Predicate direct;

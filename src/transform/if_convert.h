@@ -47,6 +47,18 @@ struct CombineScratch
     std::vector<Vreg> snapshots;
     std::vector<Instruction> body;
     std::vector<FoldEntry> foldCache;
+
+    /**
+     * Set by combineBlocksAt: the merge seam. Body positions
+     * [0, firstDirty) are verbatim, position-aligned copies of the
+     * pre-combine hyperblock (everything below the first consumed
+     * branch survives unmodified and nothing above it is inserted);
+     * every instruction the combine introduced or rewrote -- removed
+     * or materialized branches, the OR chain, predicated copies of S
+     * -- lands at or after it. This is the seam the incremental
+     * optimizer (optimizeBlockFrom) starts from.
+     */
+    size_t firstDirty = 0;
 };
 
 /**

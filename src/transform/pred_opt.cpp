@@ -1,7 +1,6 @@
 #include "transform/pred_opt.h"
 
-#include <map>
-#include <optional>
+#include <algorithm>
 
 #include "analysis/liveness.h"
 
@@ -9,15 +8,46 @@ namespace chf {
 
 namespace {
 
+// Requirement kinds stored in PredOptScratch::reqKind.
+constexpr uint8_t kNoReaders = 0;
+constexpr uint8_t kSingle = 1;
+constexpr uint8_t kConflict = 2;
+
 /**
  * Merge identical pure instructions under complementary predicates.
  * For a pair i < j with the same op/dest/srcs and predicates
  * (p,true)/(p,false), no write in (i, j) may touch the destination,
  * any source, or p itself; then i runs unpredicated and j disappears.
+ *
+ * For a prefix instruction at i < begin (fixpoint prefix), the scan is
+ * skipped when no instruction in the dirty region [begin, n) writes
+ * a.dest under a predicate: a match requires exactly such a partner,
+ * and prefix-internal pairs were already proven unmergeable (the last
+ * full pass made zero merges, and the scan over [0, begin) sees the
+ * same bytes it saw then). When the index hits, the full scan runs so
+ * clobber handling stays exact.
  */
 size_t
-mergeComplementary(BasicBlock &bb)
+mergeComplementary(BasicBlock &bb, size_t begin, PredOptScratch &sc,
+                   size_t &first_touched)
 {
+    bool use_index = begin > 0;
+    if (use_index) {
+        for (size_t i = begin; i < bb.insts.size(); ++i) {
+            const Instruction &inst = bb.insts[i];
+            if (!inst.pred.valid() || !inst.hasDest())
+                continue;
+            Vreg v = inst.dest;
+            if (v >= sc.dirtyDestStamp.size())
+                sc.dirtyDestStamp.resize(v + 1, 0u);
+            sc.dirtyDestStamp[v] = sc.epoch;
+        }
+    }
+    auto dirty_dest = [&](Vreg v) {
+        return v < sc.dirtyDestStamp.size() &&
+               sc.dirtyDestStamp[v] == sc.epoch;
+    };
+
     size_t merged = 0;
     for (size_t i = 0; i < bb.insts.size(); ++i) {
         Instruction &a = bb.insts[i];
@@ -25,6 +55,8 @@ mergeComplementary(BasicBlock &bb)
             a.op == Opcode::Load || !a.hasDest()) {
             continue;
         }
+        if (use_index && i < begin && !dirty_dest(a.dest))
+            continue;
         for (size_t j = i + 1; j < bb.insts.size(); ++j) {
             Instruction &b = bb.insts[j];
             if (b.op != a.op || b.dest != a.dest || b.srcs != a.srcs)
@@ -58,66 +90,74 @@ mergeComplementary(BasicBlock &bb)
             a.pred = Predicate::always();
             bb.insts.erase(bb.insts.begin() + j);
             ++merged;
+            if (i < first_touched)
+                first_touched = i;
             break;
         }
     }
     return merged;
 }
 
-/** Requirement a register's producers must satisfy to drop predicates. */
-struct Requirement
-{
-    enum class Kind { NoReaders, Single, Conflict };
-    Kind kind = Kind::NoReaders;
-    Predicate pred;
-
-    void
-    impose(const Predicate &p)
-    {
-        if (!p.valid()) {
-            kind = Kind::Conflict;
-            return;
-        }
-        switch (kind) {
-          case Kind::NoReaders:
-            kind = Kind::Single;
-            pred = p;
-            break;
-          case Kind::Single:
-            if (!(pred == p))
-                kind = Kind::Conflict;
-            break;
-          case Kind::Conflict:
-            break;
-        }
-    }
-};
-
 /**
  * Drop predicates of chain-interior instructions (implicit
  * predication). See the header comment for the safety argument.
+ *
+ * The per-register requirement map is epoch-stamped and lazily
+ * seeded: a register first touched during the walk initializes to
+ * Conflict when live out (an unconditional observer, exactly what
+ * impose(always()) produced in the map version) and NoReaders
+ * otherwise. An "erase" writes a stamped NoReaders so the lazy
+ * seeding cannot resurrect the live-out constraint.
  */
 size_t
-dropImplicit(BasicBlock &bb, const BitVector &live_out)
+dropImplicit(BasicBlock &bb, const BitVector &live_out,
+             PredOptScratch &sc, size_t &first_touched)
 {
     size_t nv = live_out.size();
 
     // Registers read as predicates anywhere must always hold valid
     // truth values, so their producers keep their guards.
-    std::vector<uint8_t> used_as_pred(nv, 0);
+    if (sc.usedStamp.size() < nv)
+        sc.usedStamp.resize(nv, 0u);
     for (const auto &inst : bb.insts) {
         if (inst.pred.valid() && inst.pred.reg < nv)
-            used_as_pred[inst.pred.reg] = 1;
+            sc.usedStamp[inst.pred.reg] = sc.epoch;
     }
+    auto used_as_pred = [&](Vreg v) {
+        return v < sc.usedStamp.size() && sc.usedStamp[v] == sc.epoch;
+    };
 
-    // Reverse walk: needs[v] is the guard every *observer* of a write
-    // to v (at the current position) is known to carry. Live-out
-    // registers are observed unconditionally by later blocks.
-    std::map<Vreg, Requirement> needs;
-    for (uint32_t v = 0; v < nv; ++v) {
-        if (live_out.test(v))
-            needs[v].impose(Predicate::always());
-    }
+    auto ensure = [&](Vreg v) {
+        if (v >= sc.reqStamp.size()) {
+            sc.reqStamp.resize(v + 1, 0u);
+            sc.reqKind.resize(v + 1, kNoReaders);
+            sc.reqPred.resize(v + 1);
+        }
+        if (sc.reqStamp[v] != sc.epoch) {
+            sc.reqStamp[v] = sc.epoch;
+            sc.reqKind[v] = (v < nv && live_out.test(v)) ? kConflict
+                                                         : kNoReaders;
+        }
+    };
+    auto impose = [&](Vreg v, const Predicate &p) {
+        ensure(v);
+        if (!p.valid()) {
+            sc.reqKind[v] = kConflict;
+            return;
+        }
+        switch (sc.reqKind[v]) {
+          case kNoReaders:
+            sc.reqKind[v] = kSingle;
+            sc.reqPred[v] = p;
+            break;
+          case kSingle:
+            if (!(sc.reqPred[v] == p))
+                sc.reqKind[v] = kConflict;
+            break;
+          default:
+            break;
+        }
+    };
 
     size_t dropped = 0;
 
@@ -132,9 +172,9 @@ dropImplicit(BasicBlock &bb, const BitVector &live_out)
         // Handle the write first (we are walking backwards, so this
         // decides droppability from the constraints of later readers).
         if (inst.hasDest() && inst.dest < nv) {
-            auto it = needs.find(inst.dest);
-            Requirement req = it == needs.end() ? Requirement{}
-                                                : it->second;
+            ensure(inst.dest);
+            uint8_t req_kind = sc.reqKind[inst.dest];
+            Predicate req_pred = sc.reqPred[inst.dest];
 
             // Loads may be unguarded too (speculative issue): they do
             // not change memory, out-of-image reads return zero, and
@@ -143,13 +183,14 @@ dropImplicit(BasicBlock &bb, const BitVector &live_out)
             bool droppable =
                 inst.pred.valid() &&
                 (opcodeIsPure(inst.op) || inst.op == Opcode::Load) &&
-                !used_as_pred[inst.dest] &&
-                (req.kind == Requirement::Kind::NoReaders ||
-                 (req.kind == Requirement::Kind::Single &&
-                  req.pred == inst.pred));
+                !used_as_pred(inst.dest) &&
+                (req_kind == kNoReaders ||
+                 (req_kind == kSingle && req_pred == inst.pred));
             if (droppable) {
                 inst.pred = Predicate::always();
                 ++dropped;
+                if (i < first_touched)
+                    first_touched = i;
             }
 
             // Earlier writes are observable through this one only when
@@ -160,11 +201,11 @@ dropImplicit(BasicBlock &bb, const BitVector &live_out)
             // => this write fired). Otherwise constraints persist
             // conservatively.
             if (!inst.pred.valid()) {
-                needs.erase(inst.dest);
-            } else if (req.kind == Requirement::Kind::NoReaders ||
-                       (req.kind == Requirement::Kind::Single &&
-                        req.pred == inst.pred)) {
-                needs.erase(inst.dest);
+                sc.reqKind[inst.dest] = kNoReaders;
+            } else if (req_kind == kNoReaders ||
+                       (req_kind == kSingle &&
+                        req_pred == inst.pred)) {
+                sc.reqKind[inst.dest] = kNoReaders;
             }
             // else: keep the accumulated requirement.
         }
@@ -172,11 +213,11 @@ dropImplicit(BasicBlock &bb, const BitVector &live_out)
         // Impose requirements for this instruction's reads.
         for (int s = 0; s < inst.numSrcs(); ++s) {
             if (inst.srcs[s].isReg())
-                needs[inst.srcs[s].reg].impose(original_guard);
+                impose(inst.srcs[s].reg, original_guard);
         }
         // A predicate register is evaluated unconditionally.
         if (inst.pred.valid())
-            needs[inst.pred.reg].impose(Predicate::always());
+            impose(inst.pred.reg, Predicate::always());
     }
     return dropped;
 }
@@ -184,11 +225,26 @@ dropImplicit(BasicBlock &bb, const BitVector &live_out)
 } // namespace
 
 size_t
-optimizePredicates(BasicBlock &bb, const BitVector &live_out)
+optimizePredicates(BasicBlock &bb, const BitVector &live_out,
+                   PredOptScratch *scratch, size_t begin,
+                   size_t *min_touched)
 {
+    PredOptScratch local;
+    PredOptScratch &sc = scratch ? *scratch : local;
+    if (++sc.epoch == 0) {
+        // Stamp wraparound (2^32 calls): flush everything once.
+        std::fill(sc.reqStamp.begin(), sc.reqStamp.end(), 0u);
+        std::fill(sc.usedStamp.begin(), sc.usedStamp.end(), 0u);
+        std::fill(sc.dirtyDestStamp.begin(), sc.dirtyDestStamp.end(),
+                  0u);
+        sc.epoch = 1;
+    }
+    size_t first_touched = bb.insts.size();
     size_t changes = 0;
-    changes += mergeComplementary(bb);
-    changes += dropImplicit(bb, live_out);
+    changes += mergeComplementary(bb, begin, sc, first_touched);
+    changes += dropImplicit(bb, live_out, sc, first_touched);
+    if (min_touched)
+        *min_touched = changes > 0 ? first_touched : bb.insts.size();
     return changes;
 }
 

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Differential matrix for seam-scoped incremental trial optimization
+ * (DESIGN.md §14): compiling with CHF_INCR_OPT on vs off must produce
+ * byte-identical asm, diagnostics, and degradation behavior across
+ * every policy, thread count, trial-cache setting, parallel-trials
+ * setting, and injected formation fault. The kill switch exists
+ * precisely so this comparison can run forever in CI; these tests are
+ * the executable form of the bit-identical contract.
+ *
+ * Run with ctest -L incropt; scripts/check_incropt.sh runs the label
+ * under ASan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <tuple>
+
+#include "backend/asm_writer.h"
+#include "hyperblock/merge.h"
+#include "pipeline/session.h"
+#include "workloads/workloads.h"
+
+namespace chf {
+namespace {
+
+struct BatchOutput
+{
+    std::vector<std::string> asmText;
+    std::string diagText;
+    size_t degraded = 0;
+    int64_t seamVisited = 0;
+    int64_t seamTotal = 0;
+};
+
+/**
+ * Compile a 4-workload batch through the full pipeline (backend on, so
+ * asm is a complete end-to-end fingerprint). @p incremental toggles
+ * the CHF_INCR_OPT kill switch — the env var rather than
+ * SessionOptions::useIncrementalOpt, because the env path is what a
+ * differential CI run flips; OptionPlumbing below covers the option.
+ */
+BatchOutput
+compileBatch(PolicyKind policy, int threads, bool trial_cache,
+             bool parallel_trials, const FaultSpec *fault,
+             bool incremental)
+{
+    const char *const names[] = {"dhry", "bzip2_3", "sieve", "gzip_1"};
+
+    if (incremental)
+        unsetenv("CHF_INCR_OPT");
+    else
+        setenv("CHF_INCR_OPT", "0", 1);
+
+    SessionOptions options = SessionOptions()
+                                 .withPolicy(policy)
+                                 .withKeepGoing(true)
+                                 .withTrialCache(trial_cache)
+                                 .withParallelTrials(parallel_trials)
+                                 .withThreads(threads);
+    if (fault)
+        options.withFault(*fault);
+    Session session(options);
+    for (const char *name : names) {
+        const Workload *workload = findWorkload(name);
+        EXPECT_NE(workload, nullptr) << name;
+        Program program = buildWorkload(*workload);
+        ProfileData profile = prepareProgram(program);
+        session.addProgram(std::move(program), std::move(profile),
+                           name);
+    }
+    SessionResult result = session.compile();
+    unsetenv("CHF_INCR_OPT");
+
+    BatchOutput out;
+    for (size_t unit = 0; unit < session.size(); ++unit)
+        out.asmText.push_back(writeFunctionAsm(session.program(unit).fn));
+    out.diagText = result.diagnostics.toString();
+    out.degraded = result.degradedCount();
+    out.seamVisited = result.totals.get("optSeamVisited");
+    out.seamTotal = result.totals.get("optSeamTotal");
+    return out;
+}
+
+/** Incremental on vs off must be byte-identical: asm + diagnostics. */
+void
+expectIncrementalIrrelevant(PolicyKind policy, int threads,
+                            bool trial_cache, bool parallel_trials,
+                            const FaultSpec *fault)
+{
+    BatchOutput on = compileBatch(policy, threads, trial_cache,
+                                  parallel_trials, fault, true);
+    BatchOutput off = compileBatch(policy, threads, trial_cache,
+                                   parallel_trials, fault, false);
+    std::string where =
+        std::string(policyKindName(policy)) + " at " +
+        std::to_string(threads) + " threads, trial_cache=" +
+        (trial_cache ? "on" : "off") + ", parallel_trials=" +
+        (parallel_trials ? "on" : "off");
+    ASSERT_EQ(on.asmText.size(), off.asmText.size()) << where;
+    for (size_t u = 0; u < on.asmText.size(); ++u)
+        EXPECT_EQ(on.asmText[u], off.asmText[u])
+            << where << " unit " << u;
+    EXPECT_EQ(on.diagText, off.diagText) << where;
+    EXPECT_EQ(on.degraded, off.degraded) << where;
+    if (fault) {
+        EXPECT_EQ(on.degraded, 1u) << where;
+        EXPECT_FALSE(on.diagText.empty()) << where;
+    } else {
+        EXPECT_EQ(on.degraded, 0u) << where;
+    }
+    // With the kill switch thrown every trial optimizes from seam 0,
+    // so the visit counters must account for every instruction; the
+    // incremental run may only ever visit fewer.
+    EXPECT_EQ(off.seamVisited, off.seamTotal) << where;
+    EXPECT_LE(on.seamVisited, on.seamTotal) << where;
+}
+
+/** Trial-cache x parallel-trials cells for one (policy, threads). At 1
+ *  thread parallel trials are inert by design, so only the enabled
+ *  setting is exercised there. */
+void
+runConfigCells(PolicyKind policy, int threads, const FaultSpec *fault)
+{
+    expectIncrementalIrrelevant(policy, threads, true, true, fault);
+    expectIncrementalIrrelevant(policy, threads, false, true, fault);
+    if (threads > 1) {
+        expectIncrementalIrrelevant(policy, threads, true, false,
+                                    fault);
+        expectIncrementalIrrelevant(policy, threads, false, false,
+                                    fault);
+    }
+}
+
+class IncrOptMatrix
+    : public ::testing::TestWithParam<std::tuple<PolicyKind, int>>
+{
+};
+
+TEST_P(IncrOptMatrix, NoFault)
+{
+    auto [policy, threads] = GetParam();
+    runConfigCells(policy, threads, nullptr);
+}
+
+TEST_P(IncrOptMatrix, FormationCorruptIr)
+{
+    auto [policy, threads] = GetParam();
+    FaultSpec fault;
+    fault.phase = "formation";
+    fault.occurrence = 1;
+    fault.kind = FaultSpec::Kind::CorruptIr;
+    runConfigCells(policy, threads, &fault);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, IncrOptMatrix,
+    ::testing::Combine(::testing::Values(PolicyKind::BreadthFirst,
+                                         PolicyKind::DepthFirst,
+                                         PolicyKind::Vliw,
+                                         PolicyKind::VliwConvergent),
+                       ::testing::Values(1, 4)),
+    [](const auto &info) {
+        return std::string(policyKindName(std::get<0>(info.param))) +
+               "_" + std::to_string(std::get<1>(info.param)) + "t";
+    });
+
+// ----- kill switch + option plumbing -----
+
+TEST(IncrOptKillSwitch, EnvVarDisablesIncrementalOpt)
+{
+    setenv("CHF_INCR_OPT", "0", 1);
+    EXPECT_FALSE(MergeEngine::incrementalOptEnabledByEnv());
+    setenv("CHF_INCR_OPT", "1", 1);
+    EXPECT_TRUE(MergeEngine::incrementalOptEnabledByEnv());
+    unsetenv("CHF_INCR_OPT");
+    EXPECT_TRUE(MergeEngine::incrementalOptEnabledByEnv());
+}
+
+TEST(IncrOptKillSwitch, OptionPlumbingReachesTheEngine)
+{
+    // SessionOptions::useIncrementalOpt=false must force seam 0 on
+    // every trial, observable as visited == total in the merged
+    // session counters (and byte-identical output, per the matrix).
+    const Workload *workload = findWorkload("dhry");
+    ASSERT_NE(workload, nullptr);
+
+    auto run = [&](bool incremental) {
+        // Trial cache off: the process-wide failed-trial memo would
+        // otherwise let the second run skip trials the first run
+        // memoized, making the visit totals incomparable.
+        Session session(SessionOptions()
+                            .withPolicy(PolicyKind::BreadthFirst)
+                            .withTrialCache(false)
+                            .withIncrementalOpt(incremental));
+        Program program = buildWorkload(*workload);
+        ProfileData profile = prepareProgram(program);
+        session.addProgram(std::move(program), std::move(profile),
+                           "dhry");
+        SessionResult result = session.compile();
+        return std::make_pair(result.totals.get("optSeamVisited"),
+                              result.totals.get("optSeamTotal"));
+    };
+
+    auto [off_visited, off_total] = run(false);
+    EXPECT_GT(off_total, 0);
+    EXPECT_EQ(off_visited, off_total);
+
+    auto [on_visited, on_total] = run(true);
+    EXPECT_EQ(on_total, off_total);
+    EXPECT_LE(on_visited, on_total);
+}
+
+/** The hit ratio is the point of the feature: on a workload with
+ *  repeated convergent merges the incremental run must actually skip
+ *  work, not just tie. */
+TEST(IncrOptKillSwitch, SeamSkipsWorkOnConvergentFormation)
+{
+    Session session(SessionOptions()
+                        .withPolicy(PolicyKind::BreadthFirst)
+                        .withBackend(false));
+    const Workload *workload = findWorkload("dhry");
+    ASSERT_NE(workload, nullptr);
+    Program program = buildWorkload(*workload);
+    ProfileData profile = prepareProgram(program);
+    session.addProgram(std::move(program), std::move(profile), "dhry");
+    SessionResult result = session.compile();
+    EXPECT_LT(result.totals.get("optSeamVisited"),
+              result.totals.get("optSeamTotal"));
+    EXPECT_GT(result.totals.get("optSeamVisited"), 0);
+}
+
+} // namespace
+} // namespace chf

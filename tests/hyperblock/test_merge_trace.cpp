@@ -28,6 +28,7 @@
 #include "pipeline/session.h"
 #include "transform/cfg_utils.h"
 #include "transform/if_convert.h"
+#include "transform/optimize.h"
 #include "workloads/workloads.h"
 
 namespace chf {
@@ -354,6 +355,113 @@ int main() {
     expectSameRun(fast, slow, "pre-screen");
     EXPECT_GT(fast.prescreened, 0);
     EXPECT_EQ(slow.prescreened, 0);
+}
+
+/**
+ * Pins the pre-screen's floor formula and its intended firing
+ * condition (trialSizeFloor + sizeHeadroom > target.maxInsts). The
+ * floor counts only the instructions no legal trial can shed -- every
+ * branch and store of both participants, minus the HB branches the
+ * combine consumes; with optimizeDuringMerge off nothing can be shed,
+ * so it counts everything. Because branches+stores rarely approach the
+ * TRIPS budget of 128, the pre-screen is NOT expected to fire at the
+ * default target (this is why BENCH_pass_speed.json records
+ * trials_prescreened == 0); it exists for small-block targets and
+ * reduced maxInsts, where PrescreenFiresAndStaysIdentical shows it
+ * firing.
+ */
+TEST(TrialFastPath, SizeFloorFormulaAndFiringCondition)
+{
+    const char *source = R"(
+int data[32];
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 32; i += 1) {
+    data[i] = acc;
+    data[(i + 7) & 31] = acc + i;
+    data[(i + 3) & 31] = acc - i;
+    data[(i + 9) & 31] = acc ^ i;
+    data[(i + 13) & 31] = acc + 2 * i;
+    data[(i + 21) & 31] = acc - 3 * i;
+    if ((i & 1) == 1) { acc += i; } else { acc -= 3; }
+    if ((i & 6) == 2) { acc += data[i & 15]; }
+  }
+  return acc + data[5];
+}
+)";
+    Program p = compileTinyC(source);
+    prepareProgram(p);
+
+    for (bool optimize_during_merge : {true, false}) {
+        MergeOptions opts;
+        opts.optimizeDuringMerge = optimize_during_merge;
+        MergeEngine engine(p.fn, opts);
+
+        size_t pairs_checked = 0;
+        for (BlockId hb = 0; hb < p.fn.blockTableSize(); ++hb) {
+            for (BlockId s = 0; s < p.fn.blockTableSize(); ++s) {
+                const BasicBlock *hb_block = p.fn.block(hb);
+                const BasicBlock *s_block = p.fn.block(s);
+                if (!hb_block || !s_block || s == p.fn.entry())
+                    continue;
+                if (branchesTo(*hb_block, s).empty())
+                    continue;
+
+                // The documented formula, computed independently.
+                size_t expected = 0;
+                for (const Instruction &inst : hb_block->insts) {
+                    if (inst.op == Opcode::Br && inst.target == s)
+                        continue; // consumed by the combine
+                    if (!optimize_during_merge || inst.isBranch() ||
+                        inst.op == Opcode::Store)
+                        ++expected;
+                }
+                for (const Instruction &inst : s_block->insts) {
+                    if (!optimize_during_merge || inst.isBranch() ||
+                        inst.op == Opcode::Store)
+                        ++expected;
+                }
+                size_t floor = engine.trialSizeFloor(*hb_block, *s_block);
+                EXPECT_EQ(floor, expected)
+                    << "bb" << hb << " <- bb" << s
+                    << " optimizeDuringMerge=" << optimize_during_merge;
+
+                // Lower-bound property: even with an empty live-out
+                // (DCE removes the maximum), the optimized combined
+                // block never drops below the floor.
+                Function copy = p.fn.clone();
+                BasicBlock scratch(hb_block->id(), hb_block->name());
+                scratch.assignFrom(*hb_block);
+                BasicBlock source_copy(s_block->id(), s_block->name());
+                source_copy.assignFrom(*s_block);
+                ASSERT_TRUE(
+                    combineBlocks(copy, scratch, source_copy, 0.5));
+                if (optimize_during_merge) {
+                    BitVector live_out(copy.numVregs());
+                    optimizeBlock(copy, scratch, live_out);
+                }
+                EXPECT_LE(floor, scratch.size())
+                    << "bb" << hb << " <- bb" << s;
+
+                // Firing-condition documentation: at the default TRIPS
+                // target none of these pairs can trip the pre-screen.
+                if (optimize_during_merge) {
+                    EXPECT_LE(floor + opts.sizeHeadroom,
+                              opts.target.maxInsts)
+                        << "bb" << hb << " <- bb" << s;
+                }
+                ++pairs_checked;
+            }
+        }
+        EXPECT_GT(pairs_checked, 5u);
+    }
+
+    // And whole-program confirmation of both sides of the condition:
+    // silent at the default budget, firing at a reduced one.
+    FormationRun default_target = runFormation(source, true, false, true);
+    EXPECT_EQ(default_target.prescreened, 0);
+    FormationRun tight = runFormation(source, true, false, true, 12);
+    EXPECT_GT(tight.prescreened, 0);
 }
 
 // ----- Session matrix: trial cache x policy x fault x threads -----

@@ -51,6 +51,22 @@ TEST(ServerProtocol, HealthAndStats)
     EXPECT_TRUE(hasField(stats, "\"requests\":2"));
     EXPECT_EQ(server.stats().requests, 2u);
     EXPECT_EQ(server.stats().errors, 0u);
+
+    // The incremental-opt hit ratio and the trial-memo occupancy are
+    // reported side by side (DESIGN.md §14); zero before any compile.
+    EXPECT_TRUE(hasField(stats, "\"opt_seam_visited\":0"));
+    EXPECT_TRUE(hasField(stats, "\"opt_seam_total\":0"));
+    EXPECT_TRUE(hasField(stats, "\"trial_memo_hits\":"));
+    EXPECT_TRUE(hasField(stats, "\"trial_memo_entries\":"));
+
+    // After a compile with real control flow (so formation runs merge
+    // trials) the visit counters accumulate, and the seam may only
+    // ever skip work, never invent it.
+    std::string compiled = server.handle(
+        R"({"op":"compile","source":"int main() { int acc = 0; for (int i = 0; i < 16; i += 1) { if ((i & 1) == 1) { acc += i; } else { acc -= 1; } if ((i & 6) == 2) { acc += 3; } } return acc; }"})");
+    EXPECT_EQ(status(compiled), "ok");
+    EXPECT_GT(server.stats().optSeamTotal, 0u);
+    EXPECT_LE(server.stats().optSeamVisited, server.stats().optSeamTotal);
 }
 
 TEST(ServerProtocol, MalformedRequestsAreErrorsNotCrashes)
